@@ -1,0 +1,51 @@
+// Experiment E1 — the approximation theorem: ghw <= hw <= 3*ghw + 1.
+//
+// Paper claim: hypertree width is a polynomial-time computable (for fixed k)
+// constant-factor approximation of generalized hypertree width.
+// This harness computes exact ghw (ordering branch-and-bound) and exact hw
+// (det-k-decomp) per instance and reports the ratio and the bound check.
+#include <iostream>
+
+#include "core/fractional.h"
+#include "core/ghw_exact.h"
+#include "htd/det_k_decomp.h"
+#include "suite.h"
+#include "td/ordering_heuristics.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace ghd;
+  const bool full = bench::WantFull(argc, argv);
+  std::cout << "E1: approximation ratio hw / ghw (paper: ghw <= hw <= 3*ghw+1)\n\n";
+  Table table({"instance", "n", "m", "fhw_ub", "ghw", "hw", "hw/ghw",
+               "3*ghw+1", "within_bound", "ghw_ms", "hw_ms"});
+  bool all_within = true;
+  for (const auto& [name, h] : bench::ExactSuite(full)) {
+    WallTimer t1;
+    ExactGhwResult ghw = ExactGhw(h);
+    const double ghw_ms = t1.ElapsedMillis();
+    if (!ghw.exact) continue;
+    WallTimer t2;
+    HypertreeWidthResult hw = HypertreeWidth(h);
+    const double hw_ms = t2.ElapsedMillis();
+    if (!hw.exact) continue;
+    // The full chain: fhw <= ghw <= hw <= 3*ghw + 1 (fhw via the best
+    // ordering found by the exact GHW search).
+    const Rational fhw_ub = FhwFromOrdering(h, ghw.best_ordering);
+    const bool within = fhw_ub <= Rational(ghw.upper_bound) &&
+                        ghw.upper_bound <= hw.width &&
+                        hw.width <= 3 * ghw.upper_bound + 1;
+    all_within = all_within && within;
+    table.AddRow({name, Table::Cell(h.num_vertices()),
+                  Table::Cell(h.num_edges()), fhw_ub.ToString(),
+                  Table::Cell(ghw.upper_bound), Table::Cell(hw.width),
+                  Table::Cell(static_cast<double>(hw.width) / ghw.upper_bound, 2),
+                  Table::Cell(3 * ghw.upper_bound + 1), within ? "yes" : "NO",
+                  Table::Cell(ghw_ms, 1), Table::Cell(hw_ms, 1)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nresult: " << (all_within ? "all instances satisfy" : "VIOLATION of")
+            << " fhw <= ghw <= hw <= 3*ghw+1\n";
+  return all_within ? 0 : 1;
+}

@@ -1,0 +1,126 @@
+// Experiment E8 — the motivation: bounded-ghw CSPs are tractable.
+//
+// Decomposition-based solving (decompose the constraint hypergraph, build the
+// join tree, run Yannakakis) against chronological backtracking, on coloring
+// and random CSP workloads of growing size. The shape to observe: the
+// decomposition pipeline scales smoothly on bounded-width instances while
+// backtracking blows up (node budget exceeded) as instances grow.
+#include <iostream>
+#include <optional>
+
+#include "core/ghw_upper.h"
+#include "csp/backtracking.h"
+#include "csp/csp.h"
+#include "csp/problems.h"
+#include "csp/yannakakis.h"
+#include "gen/circuits.h"
+#include "gen/generators.h"
+#include "suite.h"
+#include "td/ordering_heuristics.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace {
+
+struct Workload {
+  std::string name;
+  ghd::Csp csp;
+};
+
+// The adversarial bounded-width workload: an equality chain closed by one
+// disequality (UNSAT), with the chain visiting variables in interleaved
+// order (0, n-1, 1, n-2, ...). The constraint hypergraph is a cycle
+// (ghw = 2), so decomposition-based solving is trivial — but chronological
+// backtracking in variable order cannot prune until both endpoints of a
+// constraint are assigned and explores ~d^(n/2) nodes.
+ghd::Csp TwistedCycleCsp(int n, int d) {
+  ghd::Csp csp;
+  for (int v = 0; v < n; ++v) {
+    csp.variable_names.push_back("x" + std::to_string(v));
+    csp.domain_sizes.push_back(d);
+  }
+  std::vector<int> path;
+  for (int i = 0; i < (n + 1) / 2; ++i) {
+    path.push_back(i);
+    if (n - 1 - i > i) path.push_back(n - 1 - i);
+  }
+  auto add = [&](int a, int b, bool equal) {
+    ghd::Relation r({a, b});
+    for (int x = 0; x < d; ++x) {
+      for (int y = 0; y < d; ++y) {
+        if ((x == y) == equal) r.AddTuple({x, y});
+      }
+    }
+    csp.constraints.push_back(std::move(r));
+  };
+  for (size_t j = 0; j + 1 < path.size(); ++j) add(path[j], path[j + 1], true);
+  add(path.front(), path.back(), false);  // closes the cycle, makes it UNSAT
+  return csp;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ghd;
+  const bool full = bench::WantFull(argc, argv);
+  std::cout << "E8: CSP solving — Yannakakis over a GHD vs backtracking\n"
+            << "    (paper: bounded-ghw classes are polynomial)\n\n";
+
+  std::vector<Workload> workloads;
+  auto add_coloring = [&](const std::string& name, const Graph& g, int colors) {
+    workloads.push_back({name, MakeColoringCsp(g, colors)});
+  };
+  add_coloring("color_cycle30_2", CycleGraph(30), 2);
+  add_coloring("color_cycle31_2", CycleGraph(31), 2);  // UNSAT (odd cycle)
+  add_coloring("color_grid4x4_3", GridGraph(4, 4), 3);
+  add_coloring("color_grid5x5_3", GridGraph(5, 5), 3);
+  workloads.push_back(
+      {"rand_adder5_d2", MakeRandomCsp(AdderHypergraph(5), 2, 0.6, 3)});
+  workloads.push_back(
+      {"rand_bridge6_d3", MakeRandomCsp(BridgeHypergraph(6), 3, 0.5, 4)});
+  workloads.push_back({"queens6", NQueensCsp(6)});
+  workloads.push_back({"twisted16_d2", TwistedCycleCsp(16, 2)});
+  workloads.push_back({"twisted24_d2", TwistedCycleCsp(24, 2)});
+  workloads.push_back({"twisted16_d3", TwistedCycleCsp(16, 3)});
+  workloads.push_back({"twisted20_d3", TwistedCycleCsp(20, 3)});
+  if (full) {
+    add_coloring("color_grid7x7_3", GridGraph(7, 7), 3);
+    workloads.push_back(
+        {"rand_adder12_d2", MakeRandomCsp(AdderHypergraph(12), 2, 0.6, 5)});
+    workloads.push_back({"twisted30_d2", TwistedCycleCsp(30, 2)});
+    workloads.push_back({"twisted24_d3", TwistedCycleCsp(24, 3)});
+  }
+
+  Table table({"workload", "vars", "constraints", "ghw_ub", "yk_ms", "yk_sat",
+               "bt_ms", "bt_result", "bt_nodes"});
+  for (auto& [name, csp] : workloads) {
+    const Hypergraph h = csp.ConstraintHypergraph();
+    WallTimer t1;
+    GhwUpperBoundResult decomp =
+        GhwUpperBound(h, OrderingHeuristic::kMinFill, CoverMode::kExact);
+    AcyclicSolveStats stats;
+    std::optional<std::vector<int>> yk =
+        SolveViaDecomposition(csp, decomp.ghd, &stats);
+    const double yk_ms = t1.ElapsedMillis();
+
+    WallTimer t2;
+    BacktrackingOptions options;
+    options.node_budget = full ? 20000000 : 2000000;
+    BacktrackingResult bt = SolveBacktracking(csp, options);
+    const double bt_ms = t2.ElapsedMillis();
+    std::string bt_result = !bt.decided ? "budget!"
+                            : (bt.solution.has_value() ? "sat" : "unsat");
+
+    table.AddRow({name, Table::Cell(csp.num_variables()),
+                  Table::Cell(static_cast<int>(csp.constraints.size())),
+                  Table::Cell(decomp.width), Table::Cell(yk_ms, 2),
+                  yk.has_value() ? "sat" : "unsat", Table::Cell(bt_ms, 2),
+                  bt_result, Table::Cell(static_cast<int>(bt.nodes_visited))});
+  }
+  table.Print(std::cout);
+  std::cout << "\nresult: the decomposition pipeline answers every workload\n"
+            << "(including UNSAT ones) in polynomial work bounded by the\n"
+            << "instance width, while backtracking's node count explodes with\n"
+            << "instance size.\n";
+  return 0;
+}

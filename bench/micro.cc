@@ -1,0 +1,153 @@
+// Experiment E9 — microbenchmarks of the hot inner loops (google-benchmark):
+// bitset algebra, primal-graph construction, elimination, covering, and the
+// width-k decider. These are the substrate costs every experiment above is
+// built from.
+#include <benchmark/benchmark.h>
+
+#include "core/bip.h"
+#include "core/ghw_upper.h"
+#include "core/fractional.h"
+#include "core/k_decider.h"
+#include "csp/csp.h"
+#include "csp/yannakakis.h"
+#include "hypergraph/acyclicity.h"
+#include "gen/circuits.h"
+#include "gen/generators.h"
+#include "gen/random_hypergraphs.h"
+#include "htd/det_k_decomp.h"
+#include "setcover/set_cover.h"
+#include "td/bucket_elimination.h"
+#include "td/lower_bounds.h"
+#include "td/ordering_heuristics.h"
+#include "util/bitset.h"
+
+namespace ghd {
+namespace {
+
+void BM_BitsetUnionCount(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  VertexSet a(n), b(n);
+  for (int i = 0; i < n; i += 3) a.Set(i);
+  for (int i = 0; i < n; i += 5) b.Set(i);
+  for (auto _ : state) {
+    VertexSet c = a;
+    c |= b;
+    benchmark::DoNotOptimize(c.Count());
+  }
+}
+BENCHMARK(BM_BitsetUnionCount)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_PrimalGraph(benchmark::State& state) {
+  Hypergraph h = RandomUniformHypergraph(static_cast<int>(state.range(0)),
+                                         static_cast<int>(state.range(0)), 4, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.PrimalGraph().NumEdges());
+  }
+}
+BENCHMARK(BM_PrimalGraph)->Arg(32)->Arg(128);
+
+void BM_EliminationWidth(benchmark::State& state) {
+  Graph g = GridGraph(static_cast<int>(state.range(0)),
+                      static_cast<int>(state.range(0)));
+  std::vector<int> ordering = MinFillOrdering(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EliminationWidth(g, ordering));
+  }
+}
+BENCHMARK(BM_EliminationWidth)->Arg(6)->Arg(12);
+
+void BM_MinFillOrdering(benchmark::State& state) {
+  Graph g = GridGraph(static_cast<int>(state.range(0)),
+                      static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MinFillOrdering(g).size());
+  }
+}
+BENCHMARK(BM_MinFillOrdering)->Arg(6)->Arg(10);
+
+void BM_MinorMinWidth(benchmark::State& state) {
+  Graph g = GridGraph(static_cast<int>(state.range(0)),
+                      static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MinorMinWidthLowerBound(g));
+  }
+}
+BENCHMARK(BM_MinorMinWidth)->Arg(6)->Arg(10);
+
+void BM_GreedyCover(benchmark::State& state) {
+  Hypergraph h = RandomUniformHypergraph(40, 30, 4, 3);
+  VertexSet target = h.CoveredVertices();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GreedySetCover(target, h.edges()).size());
+  }
+}
+BENCHMARK(BM_GreedyCover);
+
+void BM_ExactCover(benchmark::State& state) {
+  Hypergraph h = RandomUniformHypergraph(24, 20, 4, 3);
+  VertexSet target = h.CoveredVertices();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ExactSetCover(target, h.edges())->size());
+  }
+}
+BENCHMARK(BM_ExactCover);
+
+void BM_GhwUpperBoundExactCovers(benchmark::State& state) {
+  Hypergraph h = AdderHypergraph(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        GhwUpperBound(h, OrderingHeuristic::kMinFill, CoverMode::kExact)
+            .width);
+  }
+}
+BENCHMARK(BM_GhwUpperBoundExactCovers)->Arg(5)->Arg(15);
+
+void BM_DetKDecomp(benchmark::State& state) {
+  Hypergraph h = AdderHypergraph(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HypertreeWidthAtMost(h, 2).exists);
+  }
+}
+BENCHMARK(BM_DetKDecomp)->Arg(3)->Arg(6);
+
+void BM_FractionalCover(benchmark::State& state) {
+  Hypergraph h = RandomUniformHypergraph(20, 15, 4, 3);
+  VertexSet target = h.CoveredVertices();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FractionalCoverNumber(target, h.edges()).num());
+  }
+}
+BENCHMARK(BM_FractionalCover);
+
+void BM_GyoAcyclicity(benchmark::State& state) {
+  Hypergraph h = AdderHypergraph(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IsAlphaAcyclic(h));
+  }
+}
+BENCHMARK(BM_GyoAcyclicity)->Arg(5)->Arg(20);
+
+void BM_YannakakisColoring(benchmark::State& state) {
+  Csp csp = MakeColoringCsp(GridGraph(4, 4), 3);
+  GeneralizedHypertreeDecomposition ghd =
+      GhwUpperBound(csp.ConstraintHypergraph(), OrderingHeuristic::kMinFill,
+                    CoverMode::kExact)
+          .ghd;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveViaDecomposition(csp, ghd).has_value());
+  }
+}
+BENCHMARK(BM_YannakakisColoring);
+
+void BM_SubedgeClosure(benchmark::State& state) {
+  Hypergraph h = RandomBoundedIntersectionHypergraph(30, 18, 3, 1, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BipSubedgeClosure(h).size());
+  }
+}
+BENCHMARK(BM_SubedgeClosure);
+
+}  // namespace
+}  // namespace ghd
+
+BENCHMARK_MAIN();

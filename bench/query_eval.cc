@@ -1,0 +1,61 @@
+// Experiment E10 — conjunctive query evaluation: decomposition-based
+// (Yannakakis over a GHD of the query hypergraph) vs naive full-join
+// materialization.
+//
+// Workload: chain queries ans(x0, xL) :- r(x0,x1), r(x1,x2), ..., over a
+// complete bipartite table of k x k pairs. The full join materializes
+// k^(L+1) tuples before projecting; the decomposed evaluator's intermediates
+// stay at k^2 per node. The blow-up vs flat-line crossover is the
+// database-side face of bounded-width tractability.
+#include <iostream>
+#include <string>
+
+#include "csp/query.h"
+#include "suite.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace ghd;
+  const bool full = bench::WantFull(argc, argv);
+  const int k = full ? 12 : 8;  // domain side of the k x k table
+  std::cout << "E10: chain-query evaluation, decomposed vs full join\n"
+            << "    (table: complete bipartite " << k << "x" << k
+            << "; full join materializes k^(L+1) tuples)\n\n";
+
+  Database db;
+  std::vector<std::vector<int>> rows;
+  for (int a = 0; a < k; ++a) {
+    for (int b = 0; b < k; ++b) rows.push_back({a, b});
+  }
+  db.AddTable("r", std::move(rows));
+
+  Table table({"chain_length", "answers", "decomposed_ms", "fulljoin_ms",
+               "agree"});
+  const int max_len = full ? 7 : 5;
+  for (int len = 2; len <= max_len; ++len) {
+    std::string text = "ans(x0, x" + std::to_string(len) + ") :- ";
+    for (int i = 0; i < len; ++i) {
+      text += (i ? ", " : "");
+      text += "r(x" + std::to_string(i) + ", x" + std::to_string(i + 1) + ")";
+    }
+    ConjunctiveQuery q = ParseConjunctiveQuery(text).value();
+    WallTimer t1;
+    Result<QueryAnswer> fast = EvaluateConjunctiveQuery(db, q);
+    const double fast_ms = t1.ElapsedMillis();
+    WallTimer t2;
+    Result<QueryAnswer> slow = EvaluateByFullJoin(db, q);
+    const double slow_ms = t2.ElapsedMillis();
+    const bool agree = fast.ok() && slow.ok() &&
+                       fast.value().rows == slow.value().rows;
+    table.AddRow({Table::Cell(len),
+                  Table::Cell(static_cast<int>(fast.value().rows.size())),
+                  Table::Cell(fast_ms, 2), Table::Cell(slow_ms, 2),
+                  agree ? "yes" : "NO"});
+  }
+  table.Print(std::cout);
+  std::cout << "\nresult: the decomposed evaluator stays flat while the full\n"
+            << "join's cost multiplies by ~" << k << " per extra atom — the\n"
+            << "query-evaluation face of bounded-width tractability.\n";
+  return 0;
+}

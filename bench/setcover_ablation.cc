@@ -1,0 +1,49 @@
+// Experiment E7 — ablation: exact vs greedy set covering for λ-labels.
+//
+// The λ-label of each decomposition node is a set cover of its bag. This
+// harness fixes the elimination ordering (per heuristic) and compares the
+// resulting GHW upper bound and runtime under greedy vs exact covers,
+// isolating the contribution of exact covering to solution quality.
+#include <iostream>
+
+#include "core/ghw_upper.h"
+#include "suite.h"
+#include "td/ordering_heuristics.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace ghd;
+  const bool full = bench::WantFull(argc, argv);
+  std::cout << "E7: set-cover ablation for λ-labels (same ordering, greedy vs\n"
+            << "    exact covers)\n\n";
+  Table table({"instance", "heuristic", "greedy_w", "exact_w", "improvement",
+               "greedy_ms", "exact_ms"});
+  int improved = 0, total = 0;
+  for (const auto& [name, h] : bench::StandardSuite(full)) {
+    const Graph primal = h.PrimalGraph();
+    for (OrderingHeuristic heuristic :
+         {OrderingHeuristic::kMinFill, OrderingHeuristic::kMinDegree,
+          OrderingHeuristic::kMcs}) {
+      std::vector<int> ordering = ComputeOrdering(primal, heuristic);
+      WallTimer t1;
+      const int greedy_w =
+          GhwWidthFromOrdering(h, ordering, CoverMode::kGreedy);
+      const double greedy_ms = t1.ElapsedMillis();
+      WallTimer t2;
+      const int exact_w = GhwWidthFromOrdering(h, ordering, CoverMode::kExact);
+      const double exact_ms = t2.ElapsedMillis();
+      ++total;
+      if (exact_w < greedy_w) ++improved;
+      table.AddRow({name, OrderingHeuristicName(heuristic),
+                    Table::Cell(greedy_w), Table::Cell(exact_w),
+                    Table::Cell(greedy_w - exact_w), Table::Cell(greedy_ms, 2),
+                    Table::Cell(exact_ms, 2)});
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "\nresult: exact covers improved the width on " << improved
+            << "/" << total << " (instance, heuristic) pairs and never made\n"
+            << "it worse; the cost is the extra covering time per bag.\n";
+  return 0;
+}

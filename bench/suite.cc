@@ -1,0 +1,84 @@
+#include "suite.h"
+
+#include <cstring>
+
+#include "gen/circuits.h"
+#include "gen/generators.h"
+#include "gen/random_hypergraphs.h"
+
+namespace ghd {
+namespace bench {
+
+std::vector<NamedInstance> StandardSuite(bool full) {
+  std::vector<NamedInstance> suite;
+  auto add = [&suite](std::string name, Hypergraph h) {
+    suite.push_back(NamedInstance{std::move(name), std::move(h)});
+  };
+  add("adder_5", AdderHypergraph(5));
+  add("adder_15", AdderHypergraph(15));
+  add("bridge_5", BridgeHypergraph(5));
+  add("bridge_15", BridgeHypergraph(15));
+  add("grid2d_4", Grid2dHypergraph(4, 4));
+  add("grid2d_6", Grid2dHypergraph(6, 6));
+  add("clique_8", CliqueHypergraph(8));
+  add("clique_12", CliqueHypergraph(12));
+  add("cycle_20", CycleHypergraph(20));
+  add("hypercube_4", HypercubeHypergraph(4));
+  add("tristrip_8", TriangleStripHypergraph(8));
+  add("circuit_40", RandomCircuitHypergraph(6, 40, 7));
+  add("rand_u3_30", RandomUniformHypergraph(30, 24, 3, 11));
+  add("rand_bip1_30", RandomBoundedIntersectionHypergraph(30, 18, 3, 1, 12));
+  add("rand_bdeg2_30", RandomBoundedDegreeHypergraph(30, 18, 3, 2, 13));
+  if (full) {
+    add("adder_40", AdderHypergraph(40));
+    add("bridge_40", BridgeHypergraph(40));
+    add("grid2d_10", Grid2dHypergraph(10, 10));
+    add("grid3d_3", Grid3dHypergraph(3));
+    add("clique_20", CliqueHypergraph(20));
+    add("hypercube_5", HypercubeHypergraph(5));
+    add("circuit_120", RandomCircuitHypergraph(10, 120, 7));
+    add("rand_u3_60", RandomUniformHypergraph(60, 48, 3, 21));
+  }
+  return suite;
+}
+
+std::vector<NamedInstance> ExactSuite(bool full) {
+  std::vector<NamedInstance> suite;
+  auto add = [&suite](std::string name, Hypergraph h) {
+    suite.push_back(NamedInstance{std::move(name), std::move(h)});
+  };
+  add("adder_2", AdderHypergraph(2));
+  add("adder_3", AdderHypergraph(3));
+  add("bridge_3", BridgeHypergraph(3));
+  add("grid2d_3", Grid2dHypergraph(3, 3));
+  add("cycle_6", CycleHypergraph(6));
+  add("cycle_9", CycleHypergraph(9));
+  add("clique_6", CliqueHypergraph(6));
+  add("clique_7", CliqueHypergraph(7));
+  add("tristrip_3", TriangleStripHypergraph(3));
+  add("hypercube_3", HypercubeHypergraph(3));
+  add("circuit_10", RandomCircuitHypergraph(4, 10, 5));
+  add("rand_u3_a", RandomUniformHypergraph(10, 8, 3, 1));
+  add("rand_u3_b", RandomUniformHypergraph(10, 8, 3, 2));
+  add("rand_u4", RandomUniformHypergraph(11, 7, 4, 3));
+  add("rand_bip1", RandomBoundedIntersectionHypergraph(12, 8, 3, 1, 4));
+  add("rand_bdeg2", RandomBoundedDegreeHypergraph(14, 9, 3, 2, 5));
+  if (full) {
+    add("adder_4", AdderHypergraph(4));
+    add("grid2d_4", Grid2dHypergraph(4, 4));
+    add("clique_8", CliqueHypergraph(8));
+    add("circuit_14", RandomCircuitHypergraph(4, 14, 6));
+    add("rand_u3_c", RandomUniformHypergraph(12, 10, 3, 6));
+  }
+  return suite;
+}
+
+bool WantFull(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) return true;
+  }
+  return false;
+}
+
+}  // namespace bench
+}  // namespace ghd

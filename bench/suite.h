@@ -1,0 +1,33 @@
+// Shared instance registry for the experiment harnesses: the structured
+// benchmark families (stand-ins for the public CSP hypergraph library) at
+// "quick" and "--full" sizes.
+#ifndef GHD_BENCH_SUITE_H_
+#define GHD_BENCH_SUITE_H_
+
+#include <string>
+#include <vector>
+
+#include "hypergraph/hypergraph.h"
+
+namespace ghd {
+namespace bench {
+
+struct NamedInstance {
+  std::string name;
+  Hypergraph hypergraph;
+};
+
+/// The standard structured suite. `full` adds the larger sizes (slower runs).
+std::vector<NamedInstance> StandardSuite(bool full);
+
+/// Small instances whose exact ghw is computable in milliseconds; used by the
+/// agreement / ratio experiments.
+std::vector<NamedInstance> ExactSuite(bool full);
+
+/// True when argv contains "--full".
+bool WantFull(int argc, char** argv);
+
+}  // namespace bench
+}  // namespace ghd
+
+#endif  // GHD_BENCH_SUITE_H_

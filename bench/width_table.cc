@@ -1,0 +1,78 @@
+// Experiment E6 — the community-style width table over the benchmark suite
+// (the synthetic stand-ins for the public CSP hypergraph library).
+//
+// Per instance: structural stats, treewidth bounds on the primal graph, GHW
+// lower bound, heuristic GHW upper bounds (greedy vs exact covers), exact GHW
+// where affordable, and hw where affordable. This regenerates the kind of
+// table GHW papers and tools report for adder/bridge/grid/clique instances.
+#include <iostream>
+#include <string>
+
+#include "core/fractional.h"
+#include "core/ghw_exact.h"
+#include "core/ghw_lower.h"
+#include "core/ghw_upper.h"
+#include "htd/det_k_decomp.h"
+#include "hypergraph/stats.h"
+#include "suite.h"
+#include "td/bucket_elimination.h"
+#include "td/lower_bounds.h"
+#include "td/ordering_heuristics.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace ghd;
+  const bool full = bench::WantFull(argc, argv);
+  bool csv = false;
+  for (int i = 1; i < argc; ++i) {
+    csv = csv || std::string(argv[i]) == "--csv";
+  }
+  if (!csv)
+    std::cout << "E6: width table over the benchmark suite\n"
+            << "    tw-lb/tw-ub on the primal graph; ghw-ub via multi-restart\n"
+            << "    orderings (greedy vs exact covers); ghw/hw exact when the\n"
+            << "    budgeted solvers finish\n\n";
+  Table table({"instance", "n", "m", "rank", "deg", "iw", "tw_lb", "tw_ub",
+               "ghw_lb", "ghw_ub_greedy", "ghw_ub_exactcov", "fhw_ub", "ghw",
+               "hw", "ms"});
+  for (const auto& [name, h] : bench::StandardSuite(full)) {
+    WallTimer t;
+    const HypergraphStats stats = ComputeStats(h);
+    const Graph primal = h.PrimalGraph();
+    const int tw_lb = TreewidthLowerBound(primal);
+    const int tw_ub = EliminationWidth(primal, MinFillOrdering(primal));
+    const int ghw_lb = GhwLowerBound(h);
+    GhwUpperBoundResult greedy =
+        GhwUpperBoundMultiRestart(h, 6, 1, CoverMode::kGreedy);
+    GhwUpperBoundResult exact_cov =
+        GhwUpperBoundMultiRestart(h, 6, 1, CoverMode::kExact);
+    const Rational fhw_ub = FhwFromOrdering(h, exact_cov.ordering);
+    // Budgeted exact solvers; "-" when the budget ran out first.
+    ExactGhwOptions ghw_options;
+    ghw_options.time_limit_seconds = full ? 20.0 : 3.0;
+    ExactGhwResult ghw = ExactGhw(h, ghw_options);
+    std::string ghw_cell = ghw.exact ? Table::Cell(ghw.upper_bound) : "-";
+    KDeciderOptions hw_options;
+    hw_options.state_budget = full ? 3000000 : 300000;
+    HypertreeWidthResult hw = HypertreeWidth(h, 0, hw_options);
+    std::string hw_cell = hw.exact ? Table::Cell(hw.width) : "-";
+    table.AddRow({name, Table::Cell(stats.num_vertices),
+                  Table::Cell(stats.num_edges), Table::Cell(stats.rank),
+                  Table::Cell(stats.degree),
+                  Table::Cell(stats.intersection_width), Table::Cell(tw_lb),
+                  Table::Cell(tw_ub), Table::Cell(ghw_lb),
+                  Table::Cell(greedy.width), Table::Cell(exact_cov.width),
+                  fhw_ub.ToString(), ghw_cell, hw_cell,
+                  Table::Cell(t.ElapsedMillis(), 0)});
+  }
+  if (csv) {
+    table.PrintCsv(std::cout);
+    return 0;
+  }
+  table.Print(std::cout);
+  std::cout << "\nresult: ghw_lb <= ghw <= ghw_ub_exactcov <= ghw_ub_greedy\n"
+            << "row-wise, with exact covers tightening greedy on the denser\n"
+            << "instances; ghw <= hw where both solved.\n";
+  return 0;
+}

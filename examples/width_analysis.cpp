@@ -1,0 +1,62 @@
+// Width analysis across decomposition methods for one instance family:
+// treewidth (exact + heuristics + lower bounds), generalized hypertree width
+// (lower bound, greedy/exact-cover heuristics, exact), and hypertree width —
+// the full toolbox the library exposes, on the gate-level adder circuits.
+//
+//   ./example_width_analysis [max_k]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/ghw_exact.h"
+#include "core/ghw_lower.h"
+#include "core/ghw_upper.h"
+#include "gen/circuits.h"
+#include "htd/det_k_decomp.h"
+#include "td/bucket_elimination.h"
+#include "td/exact_treewidth.h"
+#include "td/lower_bounds.h"
+#include "td/ordering_heuristics.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace ghd;
+  const int max_k = argc > 1 ? std::atoi(argv[1]) : 6;
+  std::cout << "width analysis of the adder_k family (gate-level full adders)\n\n";
+  Table table({"k", "n", "m", "tw_lb", "tw", "tw_minfill", "ghw_lb",
+               "ghw_greedy", "ghw_exactcov", "ghw", "hw"});
+  for (int k = 1; k <= max_k; ++k) {
+    Hypergraph h = AdderHypergraph(k);
+    const Graph primal = h.PrimalGraph();
+
+    ExactTreewidthOptions tw_options;
+    tw_options.time_limit_seconds = 5.0;
+    ExactTreewidthResult tw = ExactTreewidth(primal, tw_options);
+
+    ExactGhwOptions ghw_options;
+    ghw_options.time_limit_seconds = 5.0;
+    ExactGhwResult ghw = ExactGhw(h, ghw_options);
+
+    KDeciderOptions hw_options;
+    hw_options.state_budget = 500000;
+    HypertreeWidthResult hw = HypertreeWidth(h, 0, hw_options);
+
+    table.AddRow(
+        {Table::Cell(k), Table::Cell(h.num_vertices()),
+         Table::Cell(h.num_edges()), Table::Cell(TreewidthLowerBound(primal)),
+         tw.exact ? Table::Cell(tw.upper_bound) : "-",
+         Table::Cell(EliminationWidth(primal, MinFillOrdering(primal))),
+         Table::Cell(GhwLowerBound(h)),
+         Table::Cell(GhwUpperBound(h, OrderingHeuristic::kMinFill,
+                                   CoverMode::kGreedy)
+                         .width),
+         Table::Cell(GhwUpperBound(h, OrderingHeuristic::kMinFill,
+                                   CoverMode::kExact)
+                         .width),
+         ghw.exact ? Table::Cell(ghw.upper_bound) : "-",
+         hw.exact ? Table::Cell(hw.width) : "-"});
+  }
+  table.Print(std::cout);
+  std::cout << "\nreading: ghw stays 2 for every k (the family is a bounded-\n"
+            << "width class) while treewidth grows slowly with the circuit.\n";
+  return 0;
+}

@@ -1,0 +1,101 @@
+#include "core/bip.h"
+
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace ghd {
+namespace {
+
+// Recursively extends the union U over up to `remaining` more edges (ids >
+// `from`), emitting the subedge e ∩ U at every level.
+void EmitUnions(const Hypergraph& h, int e, const VertexSet& acc_union,
+                int from, int remaining,
+                std::unordered_set<VertexSet, VertexSetHash>* seen,
+                GuardFamily* family, size_t max_guards) {
+  if (family->guards.size() >= max_guards) return;
+  VertexSet sub = h.edge(e);
+  sub &= acc_union;
+  if (!sub.Empty() && sub != h.edge(e) && seen->insert(sub).second) {
+    family->guards.push_back(sub);
+    family->parent_edge.push_back(e);
+  }
+  if (remaining == 0) return;
+  for (int f = from; f < h.num_edges(); ++f) {
+    if (f == e) continue;
+    VertexSet next = acc_union;
+    next |= h.edge(f);
+    EmitUnions(h, e, next, f + 1, remaining - 1, seen, family, max_guards);
+    if (family->guards.size() >= max_guards) return;
+  }
+}
+
+}  // namespace
+
+GuardFamily BipSubedgeClosure(const Hypergraph& h,
+                              const SubedgeClosureOptions& options) {
+  GHD_CHECK(options.max_union_arity >= 1);
+  GuardFamily family = OriginalEdgesFamily(h);
+  std::unordered_set<VertexSet, VertexSetHash> seen;
+  for (const VertexSet& e : h.edges()) seen.insert(e);
+  for (int e = 0; e < h.num_edges(); ++e) {
+    EmitUnions(h, e, VertexSet(h.num_vertices()), 0,
+               options.max_union_arity, &seen, &family, options.max_guards);
+    if (family.guards.size() >= options.max_guards) break;
+  }
+  return family;
+}
+
+GuardFamily FullSubedgeClosure(const Hypergraph& h, size_t max_guards) {
+  GuardFamily family;
+  std::unordered_set<VertexSet, VertexSetHash> seen;
+  for (int e = 0; e < h.num_edges(); ++e) {
+    const std::vector<int> members = h.edge(e).ToVector();
+    const int r = static_cast<int>(members.size());
+    if (r >= 25) return GuardFamily{};  // 2^25 subsets: refuse.
+    for (uint64_t mask = 1; mask < (uint64_t{1} << r); ++mask) {
+      VertexSet sub(h.num_vertices());
+      for (int b = 0; b < r; ++b) {
+        if ((mask >> b) & 1) sub.Set(members[b]);
+      }
+      if (seen.insert(sub).second) {
+        family.guards.push_back(std::move(sub));
+        family.parent_edge.push_back(e);
+        if (family.guards.size() > max_guards) return GuardFamily{};
+      }
+    }
+  }
+  return family;
+}
+
+KDeciderResult BipGhwDecide(const Hypergraph& h, int k,
+                            const SubedgeClosureOptions& closure,
+                            const KDeciderOptions& decider) {
+  const GuardFamily family = BipSubedgeClosure(h, closure);
+  return DecideWidthK(h, family, k, decider);
+}
+
+ClosureGhwResult GhwViaFullClosure(const Hypergraph& h, size_t max_guards,
+                                   const KDeciderOptions& decider) {
+  ClosureGhwResult result;
+  if (h.num_edges() == 0) {
+    result.exact = true;
+    return result;
+  }
+  const GuardFamily closure = FullSubedgeClosure(h, max_guards);
+  if (closure.size() == 0) return result;  // rank/cap refusal
+  for (int k = 1; k <= h.num_edges(); ++k) {
+    KDeciderResult r = DecideWidthK(h, closure, k, decider);
+    result.states_visited += r.states_visited;
+    if (!r.decided) return result;
+    if (r.exists) {
+      result.width = k;
+      result.exact = true;
+      result.decomposition = std::move(r.decomposition);
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace ghd

@@ -1,0 +1,64 @@
+// The paper's tractable variants: for hypergraph classes with the bounded
+// intersection property (any two edges share at most i vertices) — and in
+// particular bounded-degree classes — deciding ghw(H) <= k is polynomial for
+// fixed k. The mechanism: only polynomially many *subedges* (intersections of
+// an edge with unions of few other edges) are relevant as guard fragments, so
+// ghw(H) <= k reduces to a width-k search over the subedge closure.
+#ifndef GHD_CORE_BIP_H_
+#define GHD_CORE_BIP_H_
+
+#include <cstddef>
+
+#include "core/k_decider.h"
+#include "hypergraph/hypergraph.h"
+
+namespace ghd {
+
+/// Controls subedge-closure generation.
+struct SubedgeClosureOptions {
+  /// Arity j of the unions: subedges e ∩ (f1 ∪ ... ∪ fj) for distinct edges.
+  /// j = k (the target width) is what the tractability argument uses; j = 2
+  /// is a cheaper ablation level that already closes most practical gaps.
+  int max_union_arity = 2;
+  /// Hard cap on the number of guards (defensive; generation stops there).
+  size_t max_guards = 500000;
+};
+
+/// Bounded-intersection subedge closure: the original edges plus all distinct
+/// nonempty proper subedges e ∩ (f1 ∪ ... ∪ fj), j <= max_union_arity.
+/// Under BIP(i) each added guard has at most j*i vertices and the family size
+/// is polynomial in the number of edges for fixed j.
+GuardFamily BipSubedgeClosure(const Hypergraph& h,
+                              const SubedgeClosureOptions& options = {});
+
+/// All nonempty subsets of every edge. Exponential in the rank — only for
+/// small-rank instances — but makes the width-k search complete for ghw
+/// unconditionally (reference oracle used in tests). Returns an empty family
+/// when the cap would be exceeded.
+GuardFamily FullSubedgeClosure(const Hypergraph& h,
+                               size_t max_guards = 2000000);
+
+/// Decides ghw(H) <= k over the BIP subedge closure. Sound unconditionally
+/// (positive answers carry a validated width-<=k GHD). Complete for bounded-
+/// intersection instances when max_union_arity >= k.
+KDeciderResult BipGhwDecide(const Hypergraph& h, int k,
+                            const SubedgeClosureOptions& closure = {},
+                            const KDeciderOptions& decider = {});
+
+/// Exact GHW through the full subedge closure (the second, independent exact
+/// engine next to the ordering branch-and-bound): iterates k upward over the
+/// all-subsets guard family. Only for small-rank instances; `exact` is false
+/// when the closure or state budget is exceeded.
+struct ClosureGhwResult {
+  int width = 0;
+  bool exact = false;
+  GeneralizedHypertreeDecomposition decomposition;
+  long states_visited = 0;
+};
+ClosureGhwResult GhwViaFullClosure(const Hypergraph& h,
+                                   size_t max_guards = 2000000,
+                                   const KDeciderOptions& decider = {});
+
+}  // namespace ghd
+
+#endif  // GHD_CORE_BIP_H_

@@ -1,0 +1,61 @@
+#include "core/fractional.h"
+
+#include "lp/simplex.h"
+#include "td/bucket_elimination.h"
+#include "util/check.h"
+
+namespace ghd {
+
+Rational FractionalCoverNumber(const VertexSet& target,
+                               const std::vector<VertexSet>& sets) {
+  const std::vector<int> vertices = target.ToVector();
+  if (vertices.empty()) return Rational(0);
+  // Dual packing LP: max Σ y_v s.t. for each set e: Σ_{v ∈ e ∩ target} y_v
+  // <= 1, y >= 0. By strong duality its optimum equals ρ*(target).
+  PackingLp lp;
+  const int n = static_cast<int>(vertices.size());
+  lp.c.assign(n, Rational(1));
+  for (const VertexSet& e : sets) {
+    if (!e.Intersects(target)) continue;
+    std::vector<Rational> row(n, Rational(0));
+    for (int j = 0; j < n; ++j) {
+      if (e.Test(vertices[j])) row[j] = Rational(1);
+    }
+    lp.a.push_back(std::move(row));
+    lp.b.push_back(Rational(1));
+  }
+  // Coverability: a target vertex in no set makes the packing unbounded
+  // (its y_v is unconstrained); that is a caller bug.
+  for (int j = 0; j < n; ++j) {
+    bool covered = false;
+    for (const auto& row : lp.a) covered = covered || row[j].IsPositive();
+    GHD_CHECK(covered);
+  }
+  LpResult result = SolvePackingLp(lp);
+  GHD_CHECK(result.bounded);
+  return result.objective;
+}
+
+Rational FhwFromOrdering(const Hypergraph& h,
+                         const std::vector<int>& ordering) {
+  const Graph primal = h.PrimalGraph();
+  const VertexSet covered = h.CoveredVertices();
+  Graph work = primal;
+  Rational width(0);
+  for (int v : ordering) {
+    VertexSet bag = work.Neighbors(v);
+    bag.Set(v);
+    bag &= covered;
+    const Rational cost = FractionalCoverNumber(bag, h.edges());
+    if (width < cost) width = cost;
+    work.EliminateVertex(v);
+  }
+  return width;
+}
+
+Rational FhwUpperBound(const Hypergraph& h, OrderingHeuristic heuristic) {
+  const Graph primal = h.PrimalGraph();
+  return FhwFromOrdering(h, ComputeOrdering(primal, heuristic));
+}
+
+}  // namespace ghd

@@ -1,0 +1,34 @@
+// Fractional hypertree width (Grohe–Marx): λ becomes a *fractional* edge
+// cover of each bag, and fhw(H) <= ghw(H) always. This is the natural
+// continuation of the paper's program (tractable width notions beyond hw)
+// and the follow-up literature's main object; it shares every substrate
+// built here — orderings, bags, and the exact LP solver.
+#ifndef GHD_CORE_FRACTIONAL_H_
+#define GHD_CORE_FRACTIONAL_H_
+
+#include <vector>
+
+#include "hypergraph/hypergraph.h"
+#include "td/ordering_heuristics.h"
+#include "util/bitset.h"
+#include "util/rational.h"
+
+namespace ghd {
+
+/// Exact fractional edge cover number ρ*(target) over the given sets: the
+/// optimum of min Σ x_e s.t. Σ_{e ∋ v} x_e >= 1 for each target vertex,
+/// x >= 0 — computed by LP duality as a packing LP over the target vertices.
+/// The target must be coverable (checked).
+Rational FractionalCoverNumber(const VertexSet& target,
+                               const std::vector<VertexSet>& sets);
+
+/// Fractional width of the decomposition induced by an elimination ordering:
+/// max over elimination bags of ρ*(bag). An upper bound on fhw(H).
+Rational FhwFromOrdering(const Hypergraph& h, const std::vector<int>& ordering);
+
+/// Convenience: ordering from a greedy heuristic on the primal graph.
+Rational FhwUpperBound(const Hypergraph& h, OrderingHeuristic heuristic);
+
+}  // namespace ghd
+
+#endif  // GHD_CORE_FRACTIONAL_H_

@@ -1,0 +1,59 @@
+#include "core/ghw_dp.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "setcover/set_cover.h"
+#include "td/treewidth_dp.h"
+#include "util/check.h"
+
+namespace ghd {
+
+std::optional<int> GhwBySubsetDp(const Hypergraph& h) {
+  const int n = h.num_vertices();
+  if (n > kMaxGhwDpVertices) return std::nullopt;
+  if (n == 0 || h.num_edges() == 0) return 0;
+
+  const Graph primal = h.PrimalGraph();
+  const VertexSet covered = h.CoveredVertices();
+  const uint32_t full = (uint32_t{1} << n) - 1;
+  std::vector<uint8_t> dp(static_cast<size_t>(full) + 1, 0);
+  std::unordered_map<VertexSet, int, VertexSetHash> cover_cache;
+  auto cover_cost = [&](const VertexSet& bag) {
+    auto it = cover_cache.find(bag);
+    if (it != cover_cache.end()) return it->second;
+    auto size = ExactSetCoverSize(bag, h.edges());
+    GHD_CHECK(size.has_value());
+    cover_cache.emplace(bag, *size);
+    return *size;
+  };
+  auto to_vertexset = [n](uint32_t mask) {
+    VertexSet s(n);
+    for (int v = 0; v < n; ++v) {
+      if ((mask >> v) & 1) s.Set(v);
+    }
+    return s;
+  };
+
+  for (uint32_t mask = 1; mask <= full; ++mask) {
+    int best = h.num_edges() + 1;
+    for (uint32_t bits = mask; bits != 0; bits &= bits - 1) {
+      const int v = std::countr_zero(bits);
+      const uint32_t rest = mask & ~(uint32_t{1} << v);
+      const VertexSet eliminated = to_vertexset(rest);
+      VertexSet bag = NeighborsThroughEliminated(primal, eliminated, v);
+      bag.Set(v);
+      bag &= covered;
+      const int cost = cover_cost(bag);
+      best = std::min(best, std::max<int>(dp[rest], cost));
+    }
+    GHD_CHECK(best <= 255);
+    dp[mask] = static_cast<uint8_t>(best);
+  }
+  return static_cast<int>(dp[full]);
+}
+
+}  // namespace ghd

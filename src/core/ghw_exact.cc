@@ -1,0 +1,270 @@
+#include "core/ghw_exact.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "core/ghw_lower.h"
+#include "hypergraph/components.h"
+#include "core/ghw_upper.h"
+#include "setcover/set_cover.h"
+#include "td/lower_bounds.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace ghd {
+namespace {
+
+struct Search {
+  const Hypergraph* h;
+  VertexSet covered;  // Vertices that occur in some hyperedge.
+  ExactGhwOptions options;
+  Deadline deadline;
+  bool out_of_budget = false;
+  bool hit_stop_width = false;
+  long nodes = 0;
+
+  int ub = 0;
+  std::vector<int> best_ordering;
+  std::vector<int> prefix;
+  std::vector<char> alive;
+  int alive_count = 0;
+
+  // Exact cover sizes are reused heavily across branches (the same bag shows
+  // up under many prefixes), so they are memoized for the whole search.
+  std::unordered_map<VertexSet, int, VertexSetHash> cover_cache;
+
+  int ExactCoverSize(const VertexSet& bag) {
+    auto it = cover_cache.find(bag);
+    if (it != cover_cache.end()) return it->second;
+    auto size = ExactSetCoverSize(bag, h->edges());
+    GHD_CHECK(size.has_value());
+    cover_cache.emplace(bag, *size);
+    return *size;
+  }
+
+  bool ShouldStop() {
+    if (options.stop_at_width > 0 && ub <= options.stop_at_width) {
+      hit_stop_width = true;
+      return true;
+    }
+    if ((options.node_budget > 0 && nodes > options.node_budget) ||
+        ((nodes & 127) == 0 && deadline.Expired())) {
+      out_of_budget = true;
+      return true;
+    }
+    return false;
+  }
+
+  void AcceptSolution(int width, const Graph& g) {
+    ub = width;
+    best_ordering = prefix;
+    for (int v = 0; v < g.num_vertices(); ++v) {
+      if (alive[v]) best_ordering.push_back(v);
+    }
+  }
+
+  // g = primal graph with the prefix eliminated; width_so_far = max exact
+  // cover size of the bags closed so far on this path.
+  void Recurse(const Graph& g, int width_so_far) {
+    ++nodes;
+    if (ShouldStop()) return;
+
+    if (alive_count == 0) {
+      if (width_so_far < ub) AcceptSolution(width_so_far, g);
+      return;
+    }
+
+    // Finish-now bound: remaining elimination bags are subsets of the
+    // remaining vertices, so each costs at most a cover of all of them.
+    VertexSet remaining(g.num_vertices());
+    for (int v = 0; v < g.num_vertices(); ++v) {
+      if (alive[v]) remaining.Set(v);
+    }
+    remaining &= covered;
+    const int rest_cost =
+        static_cast<int>(GreedySetCover(remaining, h->edges()).size());
+    const int finish_now = std::max(width_so_far, rest_cost);
+    if (finish_now < ub) AcceptSolution(finish_now, g);
+    if (rest_cost <= width_so_far) return;  // Subtree can't beat finish-now.
+
+    // Node lower bound: tw bound on the residual graph, converted through
+    // the k-set-cover combination.
+    const int tw_lb = MinorMinWidthLowerBound(g);
+    const int node_lb = GhwLowerBoundFromTwBound(*h, tw_lb);
+    if (std::max(width_so_far, node_lb) >= ub) return;
+
+    // Simplicial reduction: eliminating a simplicial vertex first never
+    // increases the best achievable cover-width of the subtree.
+    if (options.use_simplicial_reduction) {
+      for (int v = 0; v < g.num_vertices(); ++v) {
+        if (!alive[v] || !g.IsSimplicial(v)) continue;
+        VertexSet bag = g.Neighbors(v);
+        bag.Set(v);
+        bag &= covered;
+        const int cost = ExactCoverSize(bag);
+        const int next_width = std::max(width_so_far, cost);
+        if (next_width >= ub) return;
+        Graph next = g;
+        next.EliminateVertex(v);
+        prefix.push_back(v);
+        alive[v] = 0;
+        --alive_count;
+        Recurse(next, next_width);
+        ++alive_count;
+        alive[v] = 1;
+        prefix.pop_back();
+        return;
+      }
+    }
+
+    // Branch over alive vertices, cheapest bag cover first.
+    std::vector<std::pair<int, int>> order;  // (cost, vertex)
+    for (int v = 0; v < g.num_vertices(); ++v) {
+      if (!alive[v]) continue;
+      VertexSet bag = g.Neighbors(v);
+      bag.Set(v);
+      bag &= covered;
+      order.emplace_back(ExactCoverSize(bag), v);
+    }
+    std::sort(order.begin(), order.end());
+    for (const auto& [cost, v] : order) {
+      const int next_width = std::max(width_so_far, cost);
+      if (next_width >= ub) continue;
+      Graph next = g;
+      next.EliminateVertex(v);
+      prefix.push_back(v);
+      alive[v] = 0;
+      --alive_count;
+      Recurse(next, next_width);
+      ++alive_count;
+      alive[v] = 1;
+      prefix.pop_back();
+      if (out_of_budget || hit_stop_width) return;
+    }
+  }
+};
+
+}  // namespace
+
+ExactGhwResult ExactGhw(const Hypergraph& h, const ExactGhwOptions& options) {
+  ExactGhwResult result;
+  if (h.num_edges() == 0 || h.num_vertices() == 0) {
+    result.exact = true;
+    return result;
+  }
+
+  Search search;
+  search.h = &h;
+  search.covered = h.CoveredVertices();
+  search.options = options;
+  search.deadline = Deadline(options.time_limit_seconds);
+  const Graph primal = h.PrimalGraph();
+  search.alive.assign(primal.num_vertices(), 1);
+  search.alive_count = primal.num_vertices();
+
+  // Incumbent from randomized heuristics with exact covers.
+  GhwUpperBoundResult warm = GhwUpperBoundMultiRestart(
+      h, std::max(1, options.heuristic_restarts), options.seed,
+      CoverMode::kExact);
+  search.ub = warm.width;
+  search.best_ordering.clear();
+
+  const int root_lb = GhwLowerBound(h);
+  if (root_lb >= search.ub ||
+      (options.stop_at_width > 0 && search.ub <= options.stop_at_width)) {
+    result.lower_bound = root_lb;
+    result.upper_bound = search.ub;
+    result.exact = root_lb >= search.ub;
+    result.best_ordering = std::move(warm.ordering);
+    result.best_ghd = std::move(warm.ghd);
+    return result;
+  }
+
+  search.Recurse(primal, 0);
+
+  result.upper_bound = search.ub;
+  result.nodes_visited = search.nodes;
+  result.exact = !search.out_of_budget && !search.hit_stop_width;
+  result.lower_bound = result.exact ? search.ub : root_lb;
+  if (search.best_ordering.empty()) {
+    result.best_ordering = std::move(warm.ordering);
+    result.best_ghd = std::move(warm.ghd);
+  } else {
+    result.best_ordering = search.best_ordering;
+    GhwUpperBoundResult witness =
+        GhwFromOrdering(h, search.best_ordering, CoverMode::kExact);
+    GHD_CHECK(witness.width <= result.upper_bound);
+    result.upper_bound = witness.width;
+    result.best_ghd = std::move(witness.ghd);
+  }
+  return result;
+}
+
+ExactGhwResult ExactGhwComponentwise(const Hypergraph& h,
+                                     const ExactGhwOptions& options) {
+  const std::vector<std::vector<int>> groups = ConnectedEdgeComponents(h);
+  if (groups.size() <= 1) return ExactGhw(h, options);
+  const std::vector<Hypergraph> parts = SplitIntoComponents(h);
+  GHD_CHECK(parts.size() == groups.size());
+
+  ExactGhwResult combined;
+  combined.exact = true;
+  VertexSet ordered(h.num_vertices());
+  int previous_root = -1;
+  for (size_t p = 0; p < parts.size(); ++p) {
+    ExactGhwResult part = ExactGhw(parts[p], options);
+    combined.exact = combined.exact && part.exact;
+    combined.lower_bound = std::max(combined.lower_bound, part.lower_bound);
+    combined.upper_bound = std::max(combined.upper_bound, part.upper_bound);
+    combined.nodes_visited += part.nodes_visited;
+    // Stitch the witness: remap the part's guard ids to original edge ids
+    // and chain the component subtrees (vertex-disjoint, so per-vertex
+    // connectedness is unaffected).
+    const int offset = combined.best_ghd.num_nodes();
+    for (int node = 0; node < part.best_ghd.num_nodes(); ++node) {
+      combined.best_ghd.bags.push_back(part.best_ghd.bags[node]);
+      std::vector<int> mapped;
+      for (int local : part.best_ghd.guards[node]) {
+        mapped.push_back(groups[p][local]);
+      }
+      combined.best_ghd.guards.push_back(std::move(mapped));
+    }
+    for (const auto& [a, b] : part.best_ghd.tree_edges) {
+      combined.best_ghd.tree_edges.emplace_back(a + offset, b + offset);
+    }
+    if (previous_root >= 0 && part.best_ghd.num_nodes() > 0) {
+      combined.best_ghd.tree_edges.emplace_back(previous_root, offset);
+    }
+    if (part.best_ghd.num_nodes() > 0) previous_root = offset;
+    // Combined witness ordering: this part's covered vertices in the order
+    // the part's solver chose.
+    const VertexSet part_covered = parts[p].CoveredVertices();
+    for (int v : part.best_ordering) {
+      if (part_covered.Test(v) && !ordered.Test(v)) {
+        ordered.Set(v);
+        combined.best_ordering.push_back(v);
+      }
+    }
+  }
+  // Remaining (isolated) vertices close the ordering.
+  for (int v = 0; v < h.num_vertices(); ++v) {
+    if (!ordered.Test(v)) combined.best_ordering.push_back(v);
+  }
+  GHD_CHECK(combined.best_ghd.Validate(h).ok());
+  GHD_CHECK(combined.best_ghd.Width() <= combined.upper_bound);
+  return combined;
+}
+
+std::optional<bool> GhwAtMost(const Hypergraph& h, int k,
+                              const ExactGhwOptions& options) {
+  GHD_CHECK(k >= 0);
+  ExactGhwOptions opts = options;
+  opts.stop_at_width = k;
+  ExactGhwResult r = ExactGhw(h, opts);
+  if (r.upper_bound <= k) return true;
+  if (r.exact) return false;
+  if (r.lower_bound > k) return false;
+  return std::nullopt;
+}
+
+}  // namespace ghd

@@ -1,0 +1,23 @@
+#include "core/ghw_lower.h"
+
+#include <algorithm>
+
+#include "setcover/set_cover.h"
+#include "td/lower_bounds.h"
+
+namespace ghd {
+
+int GhwLowerBoundFromTwBound(const Hypergraph& h, int tw_lower_bound) {
+  if (h.num_edges() == 0) return 0;
+  // Some bag of any GHD has >= tw_lower_bound + 1 vertices, and covering any
+  // c vertices needs at least CoverCountLowerBound(c) hyperedges.
+  const int from_cover = CoverCountLowerBound(tw_lower_bound + 1, h.edges());
+  return std::max(1, from_cover);
+}
+
+int GhwLowerBound(const Hypergraph& h) {
+  if (h.num_edges() == 0) return 0;
+  return GhwLowerBoundFromTwBound(h, TreewidthLowerBound(h.PrimalGraph()));
+}
+
+}  // namespace ghd

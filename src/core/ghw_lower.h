@@ -1,0 +1,22 @@
+// GHW lower bounds, combining treewidth lower bounds on the primal graph with
+// k-set-cover reasoning: any GHD is a tree decomposition of the primal graph,
+// so some bag has at least tw(H)+1 vertices, and that bag's λ must cover it.
+#ifndef GHD_CORE_GHW_LOWER_H_
+#define GHD_CORE_GHW_LOWER_H_
+
+#include "hypergraph/hypergraph.h"
+
+namespace ghd {
+
+/// Lower bound on ghw(H): the smallest k such that the k largest hyperedges
+/// can reach (treewidth-lower-bound + 1) vertices, i.e. the tw × k-set-cover
+/// combination. Returns 0 for the empty hypergraph.
+int GhwLowerBound(const Hypergraph& h);
+
+/// Same combination but from an explicit treewidth lower bound (used by the
+/// exact GHW search on residual graphs where the caller already has one).
+int GhwLowerBoundFromTwBound(const Hypergraph& h, int tw_lower_bound);
+
+}  // namespace ghd
+
+#endif  // GHD_CORE_GHW_LOWER_H_

@@ -1,0 +1,94 @@
+#include "core/ghw_upper.h"
+
+#include <algorithm>
+
+#include "setcover/set_cover.h"
+#include "td/bucket_elimination.h"
+#include "util/check.h"
+
+namespace ghd {
+namespace {
+
+std::vector<int> CoverBag(const VertexSet& bag, const Hypergraph& h,
+                          CoverMode mode) {
+  if (mode == CoverMode::kExact) {
+    auto cover = ExactSetCover(bag, h.edges());
+    GHD_CHECK(cover.has_value());  // Unbudgeted exact cover always returns.
+    return *cover;
+  }
+  return GreedySetCover(bag, h.edges());
+}
+
+}  // namespace
+
+GhwUpperBoundResult GhwFromOrdering(const Hypergraph& h,
+                                    const std::vector<int>& ordering,
+                                    CoverMode mode) {
+  const Graph primal = h.PrimalGraph();
+  // Vertices in no hyperedge may not appear in bags (condition 3 would be
+  // unsatisfiable); their elimination bags are emptied.
+  const VertexSet covered = h.CoveredVertices();
+  TreeDecomposition td = TdFromOrdering(primal, ordering);
+  GhwUpperBoundResult result;
+  result.ordering = ordering;
+  result.ghd.tree_edges = td.tree_edges;
+  result.ghd.bags.reserve(td.bags.size());
+  result.ghd.guards.reserve(td.bags.size());
+  for (VertexSet& bag : td.bags) {
+    bag &= covered;
+    std::vector<int> lambda = CoverBag(bag, h, mode);
+    result.width = std::max(result.width, static_cast<int>(lambda.size()));
+    result.ghd.guards.push_back(std::move(lambda));
+    result.ghd.bags.push_back(std::move(bag));
+  }
+  return result;
+}
+
+int GhwWidthFromOrdering(const Hypergraph& h, const std::vector<int>& ordering,
+                         CoverMode mode, int stop_at_width) {
+  const Graph primal = h.PrimalGraph();
+  const VertexSet covered = h.CoveredVertices();
+  Graph work = primal;
+  int width = 0;
+  for (int v : ordering) {
+    VertexSet bag = work.Neighbors(v);
+    bag.Set(v);
+    bag &= covered;
+    const int cost = static_cast<int>(CoverBag(bag, h, mode).size());
+    width = std::max(width, cost);
+    if (stop_at_width >= 0 && width >= stop_at_width) return width;
+    work.EliminateVertex(v);
+  }
+  return width;
+}
+
+GhwUpperBoundResult GhwUpperBound(const Hypergraph& h,
+                                  OrderingHeuristic heuristic,
+                                  CoverMode mode) {
+  const Graph primal = h.PrimalGraph();
+  return GhwFromOrdering(h, ComputeOrdering(primal, heuristic), mode);
+}
+
+GhwUpperBoundResult GhwUpperBoundMultiRestart(const Hypergraph& h,
+                                              int restarts, uint64_t seed,
+                                              CoverMode mode) {
+  GHD_CHECK(restarts >= 1);
+  const Graph primal = h.PrimalGraph();
+  Rng rng(seed);
+  GhwUpperBoundResult best;
+  bool have_best = false;
+  for (int r = 0; r < restarts; ++r) {
+    const OrderingHeuristic heuristic =
+        (r % 2 == 0) ? OrderingHeuristic::kMinFill
+                     : OrderingHeuristic::kMinDegree;
+    std::vector<int> ordering = ComputeOrdering(primal, heuristic, &rng);
+    GhwUpperBoundResult candidate = GhwFromOrdering(h, ordering, mode);
+    if (!have_best || candidate.width < best.width) {
+      best = std::move(candidate);
+      have_best = true;
+    }
+  }
+  return best;
+}
+
+}  // namespace ghd

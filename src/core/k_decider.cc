@@ -1,0 +1,287 @@
+#include "core/k_decider.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+#include "util/check.h"
+
+namespace ghd {
+namespace {
+
+// A search state: a set of still-uncovered edges forming one connected block,
+// plus the connector vertices shared with the already-built part of the tree.
+struct StateKey {
+  VertexSet comp;  // edge ids (universe = num_edges)
+  VertexSet conn;  // vertex ids (universe = num_vertices)
+
+  bool operator==(const StateKey& o) const {
+    return comp == o.comp && conn == o.conn;
+  }
+};
+
+struct StateKeyHash {
+  size_t operator()(const StateKey& k) const {
+    return static_cast<size_t>(k.comp.Hash() * 1000003ull + k.conn.Hash());
+  }
+};
+
+// Memoized decision per state; successful states remember their bag, guard
+// choice, and child states for decomposition reconstruction.
+struct StateValue {
+  bool exists = false;
+  VertexSet chi;
+  std::vector<int> lambda;  // guard indices into the family
+  std::vector<StateKey> children;
+};
+
+struct Decider {
+  const Hypergraph* h;
+  const GuardFamily* family;
+  int k;
+  KDeciderOptions options;
+  long states = 0;
+  bool out_of_budget = false;
+
+  std::unordered_map<StateKey, StateValue, StateKeyHash> memo;
+
+  bool Budget() {
+    ++states;
+    if (options.state_budget > 0 && states > options.state_budget) {
+      out_of_budget = true;
+      return false;
+    }
+    return true;
+  }
+
+  // Splits `edges_left` into connected blocks, treating vertices in `chi` as
+  // removed: two edges are connected when they share a vertex outside chi.
+  std::vector<VertexSet> SplitComponents(const VertexSet& edges_left,
+                                         const VertexSet& chi) const {
+    std::vector<VertexSet> parts;
+    VertexSet unseen = edges_left;
+    std::vector<int> stack;
+    while (true) {
+      const int start = unseen.First();
+      if (start < 0) break;
+      VertexSet part(h->num_edges());
+      part.Set(start);
+      unseen.Reset(start);
+      stack.assign(1, start);
+      while (!stack.empty()) {
+        const int e = stack.back();
+        stack.pop_back();
+        VertexSet open = h->edge(e);
+        open -= chi;
+        // Find unseen edges sharing a vertex of `open`.
+        std::vector<int> found;
+        unseen.ForEach([&](int f) {
+          if (h->edge(f).Intersects(open)) found.push_back(f);
+        });
+        for (int f : found) {
+          unseen.Reset(f);
+          part.Set(f);
+          stack.push_back(f);
+        }
+      }
+      parts.push_back(std::move(part));
+    }
+    return parts;
+  }
+
+  VertexSet VerticesOf(const VertexSet& comp) const {
+    VertexSet v(h->num_vertices());
+    comp.ForEach([&](int e) { v |= h->edge(e); });
+    return v;
+  }
+
+  // Evaluates one complete guard choice; fills `value` and returns true on
+  // success.
+  bool TryLambda(const StateKey& key, const VertexSet& v_comp,
+                 const std::vector<int>& lambda, StateValue* value) {
+    VertexSet chi(h->num_vertices());
+    for (int g : lambda) chi |= family->guards[g];
+    chi &= v_comp;
+    if (!key.conn.IsSubsetOf(chi)) return false;
+    // Edges of the component fully inside chi are covered here.
+    VertexSet rem = key.comp;
+    bool covered_any = false;
+    std::vector<int> comp_edges = key.comp.ToVector();
+    for (int e : comp_edges) {
+      if (h->edge(e).IsSubsetOf(chi)) {
+        rem.Reset(e);
+        covered_any = true;
+      }
+    }
+    std::vector<VertexSet> parts = SplitComponents(rem, chi);
+    // Progress rule: every child block must be strictly smaller than the
+    // current component; otherwise this guard choice loops.
+    if (!covered_any && parts.size() == 1 && parts[0] == key.comp) {
+      return false;
+    }
+    std::vector<StateKey> children;
+    children.reserve(parts.size());
+    for (VertexSet& part : parts) {
+      VertexSet conn = VerticesOf(part);
+      conn &= chi;
+      children.push_back(StateKey{std::move(part), std::move(conn)});
+    }
+    for (const StateKey& child : children) {
+      if (!Decide(child)) return false;
+      if (out_of_budget) return false;
+    }
+    value->exists = true;
+    value->chi = std::move(chi);
+    value->lambda = lambda;
+    value->children = std::move(children);
+    return true;
+  }
+
+  // Enumerates guard subsets of size <= k over `candidates`, evaluating each
+  // complete connector-covering choice; returns true on first success.
+  bool EnumerateLambda(const StateKey& key, const VertexSet& v_comp,
+                       const std::vector<int>& candidates, size_t from,
+                       std::vector<int>* lambda, const VertexSet& conn_left,
+                       StateValue* value) {
+    if (!Budget()) return false;  // Bound the subset enumeration itself.
+    if (!lambda->empty() && conn_left.Empty()) {
+      if (TryLambda(key, v_comp, *lambda, value)) return true;
+      if (out_of_budget) return false;
+    }
+    if (static_cast<int>(lambda->size()) == k) return false;
+    for (size_t i = from; i < candidates.size(); ++i) {
+      const int g = candidates[i];
+      lambda->push_back(g);
+      VertexSet next_conn = conn_left;
+      next_conn -= family->guards[g];
+      if (EnumerateLambda(key, v_comp, candidates, i + 1, lambda, next_conn,
+                          value)) {
+        return true;
+      }
+      lambda->pop_back();
+      if (out_of_budget) return false;
+    }
+    return false;
+  }
+
+  bool Decide(const StateKey& key) {
+    auto it = memo.find(key);
+    if (it != memo.end()) return it->second.exists;
+    if (!Budget()) return false;
+
+    const VertexSet v_comp = VerticesOf(key.comp);
+    // Only guards touching the component can contribute to chi.
+    std::vector<int> candidates;
+    for (int g = 0; g < family->size(); ++g) {
+      if (family->guards[g].Intersects(v_comp)) candidates.push_back(g);
+    }
+    StateValue value;
+    std::vector<int> lambda;
+    const bool ok = EnumerateLambda(key, v_comp, candidates, 0, &lambda,
+                                    key.conn, &value);
+    if (out_of_budget) return false;
+    value.exists = ok;
+    memo.emplace(key, std::move(value));
+    return ok;
+  }
+
+  // Rebuilds the decomposition tree for a successful root state; returns the
+  // index of the subtree root in `out`.
+  int Reconstruct(const StateKey& key,
+                  GeneralizedHypertreeDecomposition* out) {
+    const StateValue& value = memo.at(key);
+    GHD_CHECK(value.exists);
+    const int node = out->num_nodes();
+    out->bags.push_back(value.chi);
+    std::vector<int> edge_ids;
+    for (int g : value.lambda) {
+      const int parent = family->parent_edge[g];
+      if (parent >= 0 && std::find(edge_ids.begin(), edge_ids.end(), parent) ==
+                             edge_ids.end()) {
+        edge_ids.push_back(parent);
+      }
+    }
+    out->guards.push_back(std::move(edge_ids));
+    for (const StateKey& child : value.children) {
+      const int child_node = Reconstruct(child, out);
+      out->tree_edges.emplace_back(node, child_node);
+    }
+    return node;
+  }
+};
+
+}  // namespace
+
+GuardFamily OriginalEdgesFamily(const Hypergraph& h) {
+  GuardFamily family;
+  family.guards = h.edges();
+  family.parent_edge.resize(h.num_edges());
+  for (int e = 0; e < h.num_edges(); ++e) family.parent_edge[e] = e;
+  return family;
+}
+
+KDeciderResult DecideWidthK(const Hypergraph& h, const GuardFamily& family,
+                            int k, const KDeciderOptions& options) {
+  GHD_CHECK(k >= 1);
+  const bool has_parents = family.HasParents();
+  for (int g = 0; g < family.size(); ++g) {
+    GHD_CHECK(family.parent_edge[g] < h.num_edges());
+    if (family.parent_edge[g] >= 0) {
+      GHD_CHECK(family.guards[g].IsSubsetOf(h.edge(family.parent_edge[g])));
+    }
+  }
+  KDeciderResult result;
+  result.guards_valid = has_parents;
+  if (h.num_edges() == 0) {
+    result.decided = true;
+    result.exists = true;
+    result.decomposition.bags.push_back(VertexSet(h.num_vertices()));
+    result.decomposition.guards.push_back({});
+    return result;
+  }
+
+  Decider decider;
+  decider.h = &h;
+  decider.family = &family;
+  decider.k = k;
+  decider.options = options;
+
+  // Root components of all edges with an empty separator.
+  std::vector<VertexSet> roots =
+      decider.SplitComponents(VertexSet::Full(h.num_edges()),
+                              VertexSet(h.num_vertices()));
+  std::vector<StateKey> root_keys;
+  bool all_ok = true;
+  for (VertexSet& comp : roots) {
+    StateKey key{std::move(comp), VertexSet(h.num_vertices())};
+    if (!decider.Decide(key)) {
+      all_ok = false;
+      break;
+    }
+    root_keys.push_back(std::move(key));
+  }
+  result.states_visited = decider.states;
+  if (decider.out_of_budget) {
+    result.decided = false;
+    return result;
+  }
+  result.decided = true;
+  result.exists = all_ok;
+  if (all_ok) {
+    int previous_root = -1;
+    for (const StateKey& key : root_keys) {
+      const int node = decider.Reconstruct(key, &result.decomposition);
+      if (previous_root >= 0) {
+        result.decomposition.tree_edges.emplace_back(previous_root, node);
+      }
+      previous_root = node;
+    }
+    if (has_parents) {
+      GHD_CHECK(result.decomposition.Width() <= k);
+      GHD_CHECK(result.decomposition.Validate(h).ok());
+    }
+  }
+  return result;
+}
+
+}  // namespace ghd

@@ -1,0 +1,92 @@
+#include "core/tree_projection.h"
+
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace ghd {
+namespace {
+
+// Enumerates unions of up to `remaining` more edges starting at `from`.
+void UnionRec(const Hypergraph& h, const VertexSet& acc, int from,
+              int remaining,
+              std::unordered_set<VertexSet, VertexSetHash>* seen,
+              std::vector<VertexSet>* out, size_t max_edges) {
+  if (out->size() > max_edges) return;
+  if (seen->insert(acc).second) out->push_back(acc);
+  if (remaining == 0) return;
+  for (int f = from; f < h.num_edges(); ++f) {
+    VertexSet next = acc;
+    next |= h.edge(f);
+    UnionRec(h, next, f + 1, remaining - 1, seen, out, max_edges);
+    if (out->size() > max_edges) return;
+  }
+}
+
+}  // namespace
+
+Result<Hypergraph> KFoldUnionHypergraph(const Hypergraph& h, int k,
+                                        size_t max_edges) {
+  GHD_CHECK(k >= 1);
+  std::unordered_set<VertexSet, VertexSetHash> seen;
+  std::vector<VertexSet> unions;
+  for (int e = 0; e < h.num_edges(); ++e) {
+    UnionRec(h, h.edge(e), e + 1, k - 1, &seen, &unions, max_edges);
+    if (unions.size() > max_edges) {
+      return Status::ResourceExhausted(
+          "H^[k] exceeds " + std::to_string(max_edges) + " edges");
+    }
+  }
+  std::vector<std::string> vertex_names;
+  vertex_names.reserve(h.num_vertices());
+  for (int v = 0; v < h.num_vertices(); ++v) {
+    vertex_names.push_back(h.vertex_name(v));
+  }
+  std::vector<std::string> edge_names;
+  edge_names.reserve(unions.size());
+  for (size_t i = 0; i < unions.size(); ++i) {
+    edge_names.push_back("u" + std::to_string(i));
+  }
+  return Hypergraph(std::move(vertex_names), std::move(edge_names),
+                    std::move(unions));
+}
+
+TreeProjectionResult TreeProjectionExists(const Hypergraph& h,
+                                          const Hypergraph& g,
+                                          const KDeciderOptions& options) {
+  GHD_CHECK(g.num_vertices() == h.num_vertices());
+  GuardFamily family;
+  family.guards = g.edges();
+  family.parent_edge.assign(g.num_edges(), -1);
+  KDeciderResult r = DecideWidthK(h, family, 1, options);
+  TreeProjectionResult result;
+  result.decided = r.decided;
+  result.exists = r.decided && r.exists;
+  result.states_visited = r.states_visited;
+  if (result.exists) {
+    result.witness = r.decomposition.ToTreeDecomposition();
+    GHD_CHECK(result.witness.ValidateForHypergraph(h).ok());
+    // Every bag must fit inside some G-edge (the sandwich condition).
+    for (const VertexSet& bag : result.witness.bags) {
+      bool fits = false;
+      for (const VertexSet& edge : g.edges()) {
+        if (bag.IsSubsetOf(edge)) {
+          fits = true;
+          break;
+        }
+      }
+      GHD_CHECK(fits);
+    }
+  }
+  return result;
+}
+
+TreeProjectionResult GhwAtMostViaTreeProjection(const Hypergraph& h, int k,
+                                                size_t max_kfold_edges,
+                                                const KDeciderOptions& options) {
+  Result<Hypergraph> kfold = KFoldUnionHypergraph(h, k, max_kfold_edges);
+  if (!kfold.ok()) return TreeProjectionResult{};
+  return TreeProjectionExists(h, kfold.value(), options);
+}
+
+}  // namespace ghd

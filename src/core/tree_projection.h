@@ -1,0 +1,60 @@
+// Tree projections. TP(H, G) asks for an acyclic hypergraph sandwiched
+// between H and G: equivalently, a tree decomposition of H all of whose bags
+// fit inside edges of G. The paper proves TP is NP-complete and that
+// ghw(H) <= k iff H has a tree projection with respect to H^[k], the
+// hypergraph of all unions of at most k edges of H.
+//
+// Completeness caveat (this is exactly where the paper's NP-hardness bites):
+// the polynomial search below explores *cover-normal-form* projections whose
+// bags are full sets g ∩ V(component). That is complete when G's edge family
+// is subedge-closed, but in general only sound — a full TP may need bags that
+// are proper subsets of G-edges. With G = H^[k] the normal-form search
+// coincides with the hypertree-width check (hw(H) <= k); closing the family
+// under subedges (core/bip.h) restores completeness for ghw, at exponential
+// cost in general and polynomial cost under bounded intersections. The
+// equivalences and gaps are measured by bench/tree_projection.
+#ifndef GHD_CORE_TREE_PROJECTION_H_
+#define GHD_CORE_TREE_PROJECTION_H_
+
+#include <cstddef>
+
+#include "core/k_decider.h"
+#include "hypergraph/hypergraph.h"
+#include "td/tree_decomposition.h"
+#include "util/status.h"
+
+namespace ghd {
+
+/// Builds H^[k]: the hypergraph over the same vertices whose edges are all
+/// distinct unions of 1..k edges of H. Fails (ResourceExhausted) when the
+/// edge count would exceed `max_edges`.
+Result<Hypergraph> KFoldUnionHypergraph(const Hypergraph& h, int k,
+                                        size_t max_edges = 200000);
+
+/// Tree projection decision outcome.
+struct TreeProjectionResult {
+  bool decided = false;
+  bool exists = false;
+  /// When exists: a tree decomposition of H whose bags all fit in G-edges.
+  TreeDecomposition witness;
+  long states_visited = 0;
+};
+
+/// Decides cover-normal-form TP(H, G) via the width-1 guard search over G's
+/// edges (bags of the form g ∩ V(component)). Sound: positive answers carry a
+/// validated witness. Complete when G's edges are subedge-closed.
+TreeProjectionResult TreeProjectionExists(const Hypergraph& h,
+                                          const Hypergraph& g,
+                                          const KDeciderOptions& options = {});
+
+/// The paper's characterization instantiated in normal form: searches a tree
+/// projection of H w.r.t. H^[k]. `exists` implies ghw(H) <= k; a negative
+/// answer implies hw(H) > k (hence ghw(H) > (k-1)/3 by the approximation
+/// theorem). Undecided when H^[k] exceeds the cap or the budget runs out.
+TreeProjectionResult GhwAtMostViaTreeProjection(
+    const Hypergraph& h, int k, size_t max_kfold_edges = 200000,
+    const KDeciderOptions& options = {});
+
+}  // namespace ghd
+
+#endif  // GHD_CORE_TREE_PROJECTION_H_

@@ -1,0 +1,66 @@
+#include "csp/backtracking.h"
+
+#include "util/check.h"
+
+namespace ghd {
+namespace {
+
+struct Search {
+  const Csp* csp;
+  BacktrackingOptions options;
+  long nodes = 0;
+  bool out_of_budget = false;
+  std::vector<int> assignment;
+  // Constraints indexed by variable, to limit consistency rechecks.
+  std::vector<std::vector<int>> constraints_of;
+
+  bool Consistent(int var) {
+    for (int c : constraints_of[var]) {
+      if (!csp->constraints[c].HasTupleConsistentWith(assignment)) return false;
+    }
+    return true;
+  }
+
+  bool Recurse(int var) {
+    if (var == csp->num_variables()) return true;
+    for (int value = 0; value < csp->domain_sizes[var]; ++value) {
+      ++nodes;
+      if (options.node_budget > 0 && nodes > options.node_budget) {
+        out_of_budget = true;
+        return false;
+      }
+      assignment[var] = value;
+      if (Consistent(var) && Recurse(var + 1)) return true;
+      if (out_of_budget) return false;
+    }
+    assignment[var] = -1;
+    return false;
+  }
+};
+
+}  // namespace
+
+BacktrackingResult SolveBacktracking(const Csp& csp,
+                                     const BacktrackingOptions& options) {
+  Search search;
+  search.csp = &csp;
+  search.options = options;
+  search.assignment.assign(csp.num_variables(), -1);
+  search.constraints_of.assign(csp.num_variables(), {});
+  for (size_t c = 0; c < csp.constraints.size(); ++c) {
+    for (int v : csp.constraints[c].scope()) {
+      search.constraints_of[v].push_back(static_cast<int>(c));
+    }
+  }
+  const bool found = search.Recurse(0);
+  BacktrackingResult result;
+  result.nodes_visited = search.nodes;
+  result.decided = !search.out_of_budget;
+  if (found) {
+    GHD_CHECK(csp.IsSolution(search.assignment));
+    result.solution = search.assignment;
+  }
+  return result;
+}
+
+}  // namespace ghd

@@ -1,0 +1,34 @@
+// Baseline CSP solver: chronological backtracking with partial-consistency
+// lookahead. This is the worst-case-exponential comparator that decomposition
+// -based solving is measured against in bench/csp_solving.
+#ifndef GHD_CSP_BACKTRACKING_H_
+#define GHD_CSP_BACKTRACKING_H_
+
+#include <optional>
+#include <vector>
+
+#include "csp/csp.h"
+
+namespace ghd {
+
+/// Budget for the backtracking search.
+struct BacktrackingOptions {
+  /// Limit on assignment nodes; <= 0 means unlimited.
+  long node_budget = 0;
+};
+
+/// Outcome: `decided` false means the budget ran out first.
+struct BacktrackingResult {
+  bool decided = false;
+  std::optional<std::vector<int>> solution;
+  long nodes_visited = 0;
+};
+
+/// Solves by depth-first assignment in variable order, pruning any partial
+/// assignment under which some constraint has no consistent tuple left.
+BacktrackingResult SolveBacktracking(const Csp& csp,
+                                     const BacktrackingOptions& options = {});
+
+}  // namespace ghd
+
+#endif  // GHD_CSP_BACKTRACKING_H_

@@ -1,0 +1,97 @@
+#include "csp/bucket_solver.h"
+
+#include <algorithm>
+
+#include "td/bucket_elimination.h"
+#include "td/ordering_heuristics.h"
+#include "util/check.h"
+
+namespace ghd {
+namespace {
+
+// Bucket of a relation: the variable of its scope eliminated earliest.
+int BucketOf(const Relation& r, const std::vector<int>& position_of) {
+  int best = -1;
+  for (int v : r.scope()) {
+    if (best < 0 || position_of[v] < position_of[best]) best = v;
+  }
+  return best;
+}
+
+}  // namespace
+
+std::optional<std::vector<int>> SolveByBucketElimination(
+    const Csp& csp, const std::vector<int>& ordering,
+    BucketSolveStats* stats) {
+  BucketSolveStats local;
+  BucketSolveStats* s = stats != nullptr ? stats : &local;
+  *s = BucketSolveStats{};
+  const int n = csp.num_variables();
+  GHD_CHECK(static_cast<int>(ordering.size()) == n);
+  for (int v = 0; v < n; ++v) GHD_CHECK(csp.domain_sizes[v] >= 1);
+
+  std::vector<int> position_of(n);
+  for (int i = 0; i < n; ++i) position_of[ordering[i]] = i;
+
+  std::vector<std::vector<Relation>> buckets(n);
+  for (const Relation& c : csp.constraints) {
+    if (c.empty()) return std::nullopt;  // an unsatisfiable constraint
+    if (c.arity() == 0) continue;        // trivially true
+    buckets[BucketOf(c, position_of)].push_back(c);
+  }
+
+  // Forward: process buckets in elimination order; join, project v away,
+  // push the derived relation down to its new bucket.
+  for (int i = 0; i < n; ++i) {
+    const int v = ordering[i];
+    if (buckets[v].empty()) continue;
+    Relation joined = buckets[v][0];
+    for (size_t r = 1; r < buckets[v].size(); ++r) {
+      joined = Relation::NaturalJoin(joined, buckets[v][r]);
+      ++s->joins;
+    }
+    s->max_relation_size =
+        std::max(s->max_relation_size, static_cast<long>(joined.size()));
+    if (joined.empty()) return std::nullopt;
+    std::vector<int> remaining;
+    for (int u : joined.scope()) {
+      if (u != v) remaining.push_back(u);
+    }
+    if (remaining.empty()) continue;  // fully eliminated, satisfiable
+    Relation projected = joined.ProjectOnto(remaining);
+    if (projected.empty()) return std::nullopt;
+    buckets[BucketOf(projected, position_of)].push_back(std::move(projected));
+  }
+
+  // Backward: assign in reverse elimination order; every relation in v's
+  // bucket has all non-v variables already assigned, so a simple membership
+  // scan per candidate value is backtrack-free.
+  std::vector<int> assignment(n, -1);
+  for (int i = n - 1; i >= 0; --i) {
+    const int v = ordering[i];
+    bool assigned = false;
+    for (int value = 0; value < csp.domain_sizes[v] && !assigned; ++value) {
+      assignment[v] = value;
+      bool ok = true;
+      for (const Relation& r : buckets[v]) {
+        if (!r.HasTupleConsistentWith(assignment)) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) assigned = true;
+    }
+    GHD_CHECK(assigned);  // guaranteed by the forward pass
+  }
+  GHD_CHECK(csp.IsSolution(assignment));
+  return assignment;
+}
+
+std::optional<std::vector<int>> SolveByBucketElimination(
+    const Csp& csp, BucketSolveStats* stats) {
+  const Hypergraph h = csp.ConstraintHypergraph();
+  return SolveByBucketElimination(csp, MinFillOrdering(h.PrimalGraph()),
+                                  stats);
+}
+
+}  // namespace ghd

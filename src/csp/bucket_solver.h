@@ -1,0 +1,35 @@
+// Bucket elimination / adaptive consistency for CSPs (Dechter): solve along
+// an elimination ordering by joining each bucket's relations and projecting
+// the eliminated variable away. The intermediate relation sizes are bounded
+// by d^(w+1) for ordering width w — the operational face of "bounded width
+// implies tractable".
+#ifndef GHD_CSP_BUCKET_SOLVER_H_
+#define GHD_CSP_BUCKET_SOLVER_H_
+
+#include <optional>
+#include <vector>
+
+#include "csp/csp.h"
+
+namespace ghd {
+
+/// Counters reported by the bucket solver.
+struct BucketSolveStats {
+  long joins = 0;
+  long max_relation_size = 0;
+};
+
+/// Solves `csp` by bucket elimination along `ordering` (a permutation of the
+/// variables; the first entry is eliminated first). Returns one solution or
+/// nullopt when unsatisfiable.
+std::optional<std::vector<int>> SolveByBucketElimination(
+    const Csp& csp, const std::vector<int>& ordering,
+    BucketSolveStats* stats = nullptr);
+
+/// Convenience: uses a min-fill ordering of the constraint hypergraph.
+std::optional<std::vector<int>> SolveByBucketElimination(
+    const Csp& csp, BucketSolveStats* stats = nullptr);
+
+}  // namespace ghd
+
+#endif  // GHD_CSP_BUCKET_SOLVER_H_

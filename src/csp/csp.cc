@@ -1,0 +1,99 @@
+#include "csp/csp.h"
+
+#include "hypergraph/hypergraph_builder.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace ghd {
+
+Hypergraph Csp::ConstraintHypergraph() const {
+  HypergraphBuilder builder;
+  for (const std::string& name : variable_names) builder.AddVertex(name);
+  for (size_t c = 0; c < constraints.size(); ++c) {
+    builder.AddEdgeByIds("c" + std::to_string(c), constraints[c].scope());
+  }
+  return std::move(builder).Build();
+}
+
+bool Csp::IsSolution(const std::vector<int>& assignment) const {
+  GHD_CHECK(assignment.size() == variable_names.size());
+  for (int v = 0; v < num_variables(); ++v) {
+    if (assignment[v] < 0 || assignment[v] >= domain_sizes[v]) return false;
+  }
+  for (const Relation& c : constraints) {
+    bool matched = false;
+    for (const auto& t : c.tuples()) {
+      bool ok = true;
+      for (int i = 0; i < c.arity() && ok; ++i) {
+        if (t[i] != assignment[c.scope()[i]]) ok = false;
+      }
+      if (ok) {
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) return false;
+  }
+  return true;
+}
+
+Csp MakeColoringCsp(const Graph& g, int num_colors) {
+  GHD_CHECK(num_colors >= 1);
+  Csp csp;
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    csp.variable_names.push_back("x" + std::to_string(v));
+    csp.domain_sizes.push_back(num_colors);
+  }
+  for (int u = 0; u < g.num_vertices(); ++u) {
+    g.Neighbors(u).ForEach([&](int v) {
+      if (v <= u) return;
+      Relation r({u, v});
+      for (int a = 0; a < num_colors; ++a) {
+        for (int b = 0; b < num_colors; ++b) {
+          if (a != b) r.AddTuple({a, b});
+        }
+      }
+      csp.constraints.push_back(std::move(r));
+    });
+  }
+  return csp;
+}
+
+Csp MakeRandomCsp(const Hypergraph& h, int domain_size, double tightness,
+                  uint64_t seed) {
+  GHD_CHECK(domain_size >= 1);
+  GHD_CHECK(tightness >= 0.0 && tightness <= 1.0);
+  Rng rng(seed);
+  Csp csp;
+  for (int v = 0; v < h.num_vertices(); ++v) {
+    csp.variable_names.push_back(h.vertex_name(v));
+    csp.domain_sizes.push_back(domain_size);
+  }
+  for (int e = 0; e < h.num_edges(); ++e) {
+    const std::vector<int> scope = h.edge(e).ToVector();
+    Relation r(scope);
+    // Enumerate all d^arity tuples (generators keep arities small).
+    const int arity = static_cast<int>(scope.size());
+    std::vector<int> tuple(arity, 0);
+    long total = 1;
+    for (int i = 0; i < arity; ++i) total *= domain_size;
+    for (long idx = 0; idx < total; ++idx) {
+      long rest = idx;
+      for (int i = 0; i < arity; ++i) {
+        tuple[i] = static_cast<int>(rest % domain_size);
+        rest /= domain_size;
+      }
+      if (rng.Bernoulli(tightness)) r.AddTuple(tuple);
+    }
+    if (r.empty()) {
+      // Keep every constraint locally satisfiable.
+      std::vector<int> any(arity);
+      for (int i = 0; i < arity; ++i) any[i] = rng.UniformInt(domain_size);
+      r.AddTuple(std::move(any));
+    }
+    csp.constraints.push_back(std::move(r));
+  }
+  return csp;
+}
+
+}  // namespace ghd

@@ -1,0 +1,49 @@
+// Constraint satisfaction problems: the application domain that makes widths
+// matter — CSPs whose constraint hypergraphs have ghw <= k are solvable in
+// polynomial time from a width-k GHD. Includes generators for the workloads
+// used by examples and benchmarks.
+#ifndef GHD_CSP_CSP_H_
+#define GHD_CSP_CSP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "csp/relation.h"
+#include "graph/graph.h"
+#include "hypergraph/hypergraph.h"
+
+namespace ghd {
+
+/// A CSP: variables with 0-based finite domains, and constraint relations
+/// over variable ids.
+struct Csp {
+  std::vector<std::string> variable_names;
+  std::vector<int> domain_sizes;
+  std::vector<Relation> constraints;
+
+  int num_variables() const { return static_cast<int>(variable_names.size()); }
+
+  /// The constraint hypergraph: one vertex per variable, one hyperedge per
+  /// constraint scope.
+  Hypergraph ConstraintHypergraph() const;
+
+  /// Checks a complete assignment (one value per variable) against every
+  /// constraint.
+  bool IsSolution(const std::vector<int>& assignment) const;
+};
+
+/// Graph-coloring CSP: one variable per vertex, inequality constraints per
+/// edge ("neighboring regions get distinct colors").
+Csp MakeColoringCsp(const Graph& g, int num_colors);
+
+/// Random CSP over the scopes of a hypergraph: each hyperedge becomes a
+/// constraint containing each of the d^|scope| tuples independently with
+/// probability `tightness` (at least one tuple is always kept so constraints
+/// are non-trivially satisfiable locally).
+Csp MakeRandomCsp(const Hypergraph& h, int domain_size, double tightness,
+                  uint64_t seed);
+
+}  // namespace ghd
+
+#endif  // GHD_CSP_CSP_H_

@@ -1,0 +1,204 @@
+#include "csp/enumerate.h"
+
+#include "util/check.h"
+
+namespace ghd {
+namespace {
+
+struct Enumerator {
+  const Csp* csp;
+  const JoinTree* jt;
+  const std::vector<int>* order;
+  long limit;
+  std::vector<int> assignment;
+  std::vector<std::vector<int>> out;
+
+  bool Full() const {
+    return limit > 0 && static_cast<long>(out.size()) >= limit;
+  }
+
+  void Recurse(size_t depth) {
+    if (Full()) return;
+    if (depth == order->size()) {
+      std::vector<int> solution = assignment;
+      for (int v = 0; v < csp->num_variables(); ++v) {
+        if (solution[v] < 0) solution[v] = 0;
+      }
+      GHD_CHECK(csp->IsSolution(solution));
+      out.push_back(std::move(solution));
+      return;
+    }
+    const Relation& r = jt->relations[(*order)[depth]];
+    if (r.arity() == 0) {  // "true" node
+      Recurse(depth + 1);
+      return;
+    }
+    for (const auto& tuple : r.tuples()) {
+      bool consistent = true;
+      for (int i = 0; i < r.arity() && consistent; ++i) {
+        const int assigned = assignment[r.scope()[i]];
+        if (assigned >= 0 && assigned != tuple[i]) consistent = false;
+      }
+      if (!consistent) continue;
+      // Assign, remembering which variables this node newly bound.
+      std::vector<int> newly_bound;
+      for (int i = 0; i < r.arity(); ++i) {
+        const int var = r.scope()[i];
+        if (assignment[var] < 0) {
+          assignment[var] = tuple[i];
+          newly_bound.push_back(var);
+        }
+      }
+      Recurse(depth + 1);
+      for (int var : newly_bound) assignment[var] = -1;
+      if (Full()) return;
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<std::vector<int>> EnumerateAcyclicSolutions(const Csp& csp,
+                                                        JoinTree jt,
+                                                        long limit) {
+  if (jt.num_nodes() == 0) return {};
+  // Orient at node 0 (BFS), then run the full reduction exactly as the
+  // single-solution solver does.
+  const int t = jt.num_nodes();
+  std::vector<std::vector<int>> adj(t);
+  for (const auto& [a, b] : jt.edges) {
+    adj[a].push_back(b);
+    adj[b].push_back(a);
+  }
+  std::vector<int> parent(t, -2), order;
+  order.push_back(0);
+  parent[0] = -1;
+  for (size_t i = 0; i < order.size(); ++i) {
+    for (int q : adj[order[i]]) {
+      if (parent[q] == -2) {
+        parent[q] = order[i];
+        order.push_back(q);
+      }
+    }
+  }
+  GHD_CHECK(static_cast<int>(order.size()) == t);
+  for (int i = t - 1; i >= 1; --i) {
+    const int node = order[i];
+    jt.relations[parent[node]] =
+        jt.relations[parent[node]].SemijoinWith(jt.relations[node]);
+    if (jt.relations[parent[node]].empty()) return {};
+  }
+  if (jt.relations[order[0]].empty()) return {};
+  for (size_t i = 1; i < order.size(); ++i) {
+    const int node = order[i];
+    jt.relations[node] =
+        jt.relations[node].SemijoinWith(jt.relations[parent[node]]);
+  }
+
+  Enumerator e;
+  e.csp = &csp;
+  e.jt = &jt;
+  e.order = &order;
+  e.limit = limit;
+  e.assignment.assign(csp.num_variables(), -1);
+  e.Recurse(0);
+  return std::move(e.out);
+}
+
+std::vector<std::vector<int>> EnumerateSolutionsViaDecomposition(
+    const Csp& csp, const GeneralizedHypertreeDecomposition& ghd,
+    long limit) {
+  Result<JoinTree> jt = BuildJoinTree(csp, ghd);
+  GHD_CHECK(jt.ok());
+  return EnumerateAcyclicSolutions(csp, std::move(jt).value(), limit);
+}
+
+long CountAcyclicSolutions(const Csp& csp, JoinTree jt) {
+  (void)csp;  // kept for API symmetry with the enumerator
+  if (jt.num_nodes() == 0) return 0;
+  for (Relation& r : jt.relations) r.Deduplicate();
+  const int t = jt.num_nodes();
+  std::vector<std::vector<int>> adj(t);
+  for (const auto& [a, b] : jt.edges) {
+    adj[a].push_back(b);
+    adj[b].push_back(a);
+  }
+  std::vector<int> parent(t, -2), order;
+  order.push_back(0);
+  parent[0] = -1;
+  for (size_t i = 0; i < order.size(); ++i) {
+    for (int q : adj[order[i]]) {
+      if (parent[q] == -2) {
+        parent[q] = order[i];
+        order.push_back(q);
+      }
+    }
+  }
+  GHD_CHECK(static_cast<int>(order.size()) == t);
+  // Full reduction first, so dangling tuples don't inflate the products.
+  for (int i = t - 1; i >= 1; --i) {
+    const int node = order[i];
+    jt.relations[parent[node]] =
+        jt.relations[parent[node]].SemijoinWith(jt.relations[node]);
+    if (jt.relations[parent[node]].empty()) return 0;
+  }
+  if (jt.relations[order[0]].empty()) return 0;
+  for (size_t i = 1; i < order.size(); ++i) {
+    const int node = order[i];
+    jt.relations[node] =
+        jt.relations[node].SemijoinWith(jt.relations[parent[node]]);
+  }
+
+  // Product-sum DP, children before parents: each solution corresponds to a
+  // unique edge-compatible tuple selection (connectedness makes pairwise
+  // agreement along tree edges globally consistent).
+  std::vector<std::vector<__int128>> count(t);
+  for (int i = t - 1; i >= 0; --i) {
+    const int node = order[i];
+    const Relation& r = jt.relations[node];
+    const int rows = std::max(1, r.size());
+    count[node].assign(rows, 1);
+    if (r.size() == 0) continue;  // arity-0 "true" node contributes factor 1
+    for (int q : adj[node]) {
+      if (parent[q] != node) continue;
+      const Relation& child = jt.relations[q];
+      // Shared variable positions between node and child scopes.
+      std::vector<std::pair<int, int>> shared;
+      for (int p = 0; p < r.arity(); ++p) {
+        const int cp = child.PositionOf(r.scope()[p]);
+        if (cp >= 0) shared.emplace_back(p, cp);
+      }
+      for (int row = 0; row < r.size(); ++row) {
+        __int128 sum = 0;
+        for (int crow = 0; crow < child.size(); ++crow) {
+          bool compatible = true;
+          for (const auto& [p, cp] : shared) {
+            if (r.tuples()[row][p] != child.tuples()[crow][cp]) {
+              compatible = false;
+              break;
+            }
+          }
+          if (compatible) sum += count[q][crow];
+        }
+        count[node][row] *= sum;
+        GHD_CHECK(count[node][row] <= INT64_MAX);
+      }
+    }
+  }
+  __int128 total = 0;
+  const int root = order[0];
+  const int root_rows =
+      jt.relations[root].size() == 0 ? 1 : jt.relations[root].size();
+  for (int row = 0; row < root_rows; ++row) total += count[root][row];
+  GHD_CHECK(total <= INT64_MAX);
+  return static_cast<long>(total);
+}
+
+long CountSolutionsViaDecomposition(
+    const Csp& csp, const GeneralizedHypertreeDecomposition& ghd) {
+  Result<JoinTree> jt = BuildJoinTree(csp, ghd);
+  GHD_CHECK(jt.ok());
+  return CountAcyclicSolutions(csp, std::move(jt).value());
+}
+
+}  // namespace ghd

@@ -1,0 +1,38 @@
+#include "csp/join_tree.h"
+
+#include "util/check.h"
+
+namespace ghd {
+
+Result<JoinTree> BuildJoinTree(const Csp& csp,
+                               const GeneralizedHypertreeDecomposition& ghd) {
+  const Hypergraph h = csp.ConstraintHypergraph();
+  if (static_cast<int>(csp.constraints.size()) != h.num_edges()) {
+    return Status::InvalidArgument("constraint/hyperedge count mismatch");
+  }
+  Status valid = ghd.Validate(h);
+  if (!valid.ok()) return valid;
+  const GeneralizedHypertreeDecomposition complete = MakeComplete(h, ghd);
+
+  JoinTree jt;
+  jt.relations.reserve(complete.num_nodes());
+  jt.edges = complete.tree_edges;
+  for (int p = 0; p < complete.num_nodes(); ++p) {
+    const std::vector<int>& lambda = complete.guards[p];
+    if (lambda.empty()) {
+      GHD_CHECK(complete.bags[p].Empty());
+      Relation truth(std::vector<int>{});
+      truth.AddTuple({});
+      jt.relations.push_back(std::move(truth));
+      continue;
+    }
+    Relation joined = csp.constraints[lambda[0]];
+    for (size_t i = 1; i < lambda.size(); ++i) {
+      joined = Relation::NaturalJoin(joined, csp.constraints[lambda[i]]);
+    }
+    jt.relations.push_back(joined.ProjectOnto(complete.bags[p].ToVector()));
+  }
+  return jt;
+}
+
+}  // namespace ghd

@@ -1,0 +1,37 @@
+// Join trees: the acyclic CSP instances produced from (generalized hypertree)
+// decompositions. Each decomposition node becomes one relation — the join of
+// its λ-constraints projected onto its bag — and the decomposition's width
+// bounds the cost of building each relation (the tractability mechanism of
+// bounded-ghw classes).
+#ifndef GHD_CSP_JOIN_TREE_H_
+#define GHD_CSP_JOIN_TREE_H_
+
+#include <utility>
+#include <vector>
+
+#include "core/ghd.h"
+#include "csp/csp.h"
+#include "csp/relation.h"
+#include "util/status.h"
+
+namespace ghd {
+
+/// The solution-equivalent acyclic instance: one relation per decomposition
+/// node, tree edges over node indices.
+struct JoinTree {
+  std::vector<Relation> relations;
+  std::vector<std::pair<int, int>> edges;
+
+  int num_nodes() const { return static_cast<int>(relations.size()); }
+};
+
+/// Builds the join tree of `csp` from a decomposition of its constraint
+/// hypergraph (made complete internally, so every constraint is enforced at
+/// some node). Requires one constraint per hyperedge, in hypergraph edge
+/// order — the layout Csp::ConstraintHypergraph produces.
+Result<JoinTree> BuildJoinTree(const Csp& csp,
+                               const GeneralizedHypertreeDecomposition& ghd);
+
+}  // namespace ghd
+
+#endif  // GHD_CSP_JOIN_TREE_H_

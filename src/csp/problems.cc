@@ -1,0 +1,53 @@
+#include "csp/problems.h"
+
+#include <cstdlib>
+#include <string>
+
+#include "util/check.h"
+
+namespace ghd {
+
+Csp NQueensCsp(int n) {
+  GHD_CHECK(n >= 1);
+  Csp csp;
+  for (int c = 0; c < n; ++c) {
+    csp.variable_names.push_back("q" + std::to_string(c));
+    csp.domain_sizes.push_back(n);
+  }
+  for (int c1 = 0; c1 < n; ++c1) {
+    for (int c2 = c1 + 1; c2 < n; ++c2) {
+      Relation r({c1, c2});
+      for (int r1 = 0; r1 < n; ++r1) {
+        for (int r2 = 0; r2 < n; ++r2) {
+          const bool attacks = r1 == r2 || std::abs(r1 - r2) == c2 - c1;
+          if (!attacks) r.AddTuple({r1, r2});
+        }
+      }
+      csp.constraints.push_back(std::move(r));
+    }
+  }
+  return csp;
+}
+
+Csp PigeonholeCsp(int pigeons, int holes) {
+  GHD_CHECK(pigeons >= 1 && holes >= 1);
+  Csp csp;
+  for (int p = 0; p < pigeons; ++p) {
+    csp.variable_names.push_back("p" + std::to_string(p));
+    csp.domain_sizes.push_back(holes);
+  }
+  for (int p1 = 0; p1 < pigeons; ++p1) {
+    for (int p2 = p1 + 1; p2 < pigeons; ++p2) {
+      Relation r({p1, p2});
+      for (int h1 = 0; h1 < holes; ++h1) {
+        for (int h2 = 0; h2 < holes; ++h2) {
+          if (h1 != h2) r.AddTuple({h1, h2});
+        }
+      }
+      csp.constraints.push_back(std::move(r));
+    }
+  }
+  return csp;
+}
+
+}  // namespace ghd

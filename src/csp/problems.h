@@ -1,0 +1,20 @@
+// Classic CSP workloads used in examples, tests, and benches.
+#ifndef GHD_CSP_PROBLEMS_H_
+#define GHD_CSP_PROBLEMS_H_
+
+#include "csp/csp.h"
+
+namespace ghd {
+
+/// n-queens: one variable per column (value = row), pairwise constraints
+/// forbidding shared rows and diagonals. Satisfiable for n = 1 and n >= 4.
+Csp NQueensCsp(int n);
+
+/// Pigeonhole: `pigeons` variables over `holes` values with pairwise
+/// disequality. Satisfiable iff pigeons <= holes; the unsatisfiable case is
+/// the classic hard instance for backtracking search.
+Csp PigeonholeCsp(int pigeons, int holes);
+
+}  // namespace ghd
+
+#endif  // GHD_CSP_PROBLEMS_H_

@@ -1,0 +1,346 @@
+#include "csp/query.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "core/ghw_upper.h"
+#include "hypergraph/hypergraph_builder.h"
+#include "td/ordering_heuristics.h"
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace ghd {
+namespace {
+
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Lexer shared by head and body: name '(' name, name, ... ')'.
+struct AtomLexer {
+  const std::string& text;
+  size_t i = 0;
+
+  void SkipSpace() {
+    while (i < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[i]))) {
+      ++i;
+    }
+  }
+  std::string ReadName() {
+    SkipSpace();
+    const size_t start = i;
+    while (i < text.size() && IsNameChar(text[i])) ++i;
+    return text.substr(start, i - start);
+  }
+  bool Consume(char c) {
+    SkipSpace();
+    if (i < text.size() && text[i] == c) {
+      ++i;
+      return true;
+    }
+    return false;
+  }
+  bool ConsumeTurnstile() {
+    SkipSpace();
+    if (i + 1 < text.size() && text[i] == ':' && text[i + 1] == '-') {
+      i += 2;
+      return true;
+    }
+    return false;
+  }
+  bool AtEnd() {
+    SkipSpace();
+    return i >= text.size();
+  }
+};
+
+Result<QueryAtom> ReadAtom(AtomLexer* lex) {
+  QueryAtom atom;
+  atom.relation = lex->ReadName();
+  if (atom.relation.empty()) return Status::ParseError("expected atom name");
+  if (!lex->Consume('(')) {
+    return Status::ParseError("expected '(' after '" + atom.relation + "'");
+  }
+  if (lex->Consume(')')) return atom;  // nullary head: boolean query
+  while (true) {
+    std::string var = lex->ReadName();
+    if (var.empty()) return Status::ParseError("expected variable name");
+    atom.variables.push_back(std::move(var));
+    if (lex->Consume(',')) continue;
+    if (lex->Consume(')')) break;
+    return Status::ParseError("expected ',' or ')' in atom '" +
+                              atom.relation + "'");
+  }
+  return atom;
+}
+
+// Converts one atom into a Relation over hypergraph vertex ids, applying
+// equality selections for repeated variables.
+Result<Relation> AtomRelation(const Database& db, const QueryAtom& atom,
+                              const Hypergraph& h) {
+  const int table = db.IndexOf(atom.relation);
+  if (table < 0) {
+    return Status::InvalidArgument("unknown relation '" + atom.relation + "'");
+  }
+  const auto& rows = db.tables[table];
+  // Distinct variables in first-occurrence order, with their positions.
+  std::vector<int> scope;
+  std::vector<int> first_position;
+  for (size_t pos = 0; pos < atom.variables.size(); ++pos) {
+    const int id = h.VertexIdOf(atom.variables[pos]);
+    GHD_CHECK(id >= 0);
+    if (std::find(scope.begin(), scope.end(), id) == scope.end()) {
+      scope.push_back(id);
+      first_position.push_back(static_cast<int>(pos));
+    }
+  }
+  Relation r(scope);
+  for (const auto& row : rows) {
+    if (row.size() != atom.variables.size()) {
+      return Status::InvalidArgument(
+          "arity mismatch for '" + atom.relation + "': table has " +
+          std::to_string(row.size()) + " columns, atom uses " +
+          std::to_string(atom.variables.size()));
+    }
+    // Equality selection: all positions of the same variable must agree.
+    bool ok = true;
+    for (size_t pos = 0; pos < atom.variables.size() && ok; ++pos) {
+      const int id = h.VertexIdOf(atom.variables[pos]);
+      for (size_t s = 0; s < scope.size(); ++s) {
+        if (scope[s] == id && row[pos] != row[first_position[s]]) ok = false;
+      }
+    }
+    if (!ok) continue;
+    std::vector<int> tuple;
+    tuple.reserve(scope.size());
+    for (int pos : first_position) tuple.push_back(row[pos]);
+    r.AddTuple(std::move(tuple));
+  }
+  r.Deduplicate();
+  return r;
+}
+
+Status CheckQuery(const Database& db, const ConjunctiveQuery& query,
+                  const Hypergraph& h) {
+  if (query.atoms.empty()) {
+    return Status::InvalidArgument("query has no atoms");
+  }
+  for (const QueryAtom& atom : query.atoms) {
+    if (db.IndexOf(atom.relation) < 0) {
+      return Status::InvalidArgument("unknown relation '" + atom.relation +
+                                     "'");
+    }
+  }
+  for (const std::string& v : query.free_variables) {
+    if (h.VertexIdOf(v) < 0) {
+      return Status::InvalidArgument("free variable '" + v +
+                                     "' occurs in no atom");
+    }
+  }
+  return Status::Ok();
+}
+
+QueryAnswer FinishAnswer(const ConjunctiveQuery& query, const Hypergraph& h,
+                         Relation result, int width) {
+  QueryAnswer answer;
+  answer.variables = query.free_variables;
+  answer.decomposition_width = width;
+  // Order the columns by the query's free-variable list.
+  std::vector<int> free_ids;
+  bool scope_complete = true;
+  for (const std::string& v : query.free_variables) {
+    const int id = h.VertexIdOf(v);
+    free_ids.push_back(id);
+    scope_complete = scope_complete && result.PositionOf(id) >= 0;
+  }
+  if (!scope_complete) {
+    // Unsatisfiable branch: the free variables never materialized.
+    GHD_CHECK(result.empty());
+    return answer;
+  }
+  Relation projected = result.ProjectOnto(free_ids);
+  answer.rows = projected.tuples();
+  std::sort(answer.rows.begin(), answer.rows.end());
+  return answer;
+}
+
+}  // namespace
+
+void Database::AddTable(const std::string& name,
+                        std::vector<std::vector<int>> rows) {
+  for (size_t r = 1; r < rows.size(); ++r) {
+    GHD_CHECK(rows[r].size() == rows[0].size());
+  }
+  names.push_back(name);
+  tables.push_back(std::move(rows));
+}
+
+int Database::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Result<ConjunctiveQuery> ParseConjunctiveQuery(const std::string& text) {
+  AtomLexer lex{text};
+  Result<QueryAtom> head = ReadAtom(&lex);
+  if (!head.ok()) return head.status();
+  if (!lex.ConsumeTurnstile()) return Status::ParseError("expected ':-'");
+  ConjunctiveQuery query;
+  query.free_variables = head.value().variables;
+  while (true) {
+    Result<QueryAtom> atom = ReadAtom(&lex);
+    if (!atom.ok()) return atom.status();
+    if (atom.value().variables.empty()) {
+      return Status::ParseError("body atom '" + atom.value().relation +
+                                "' has no variables");
+    }
+    query.atoms.push_back(std::move(atom).value());
+    if (lex.Consume(',')) continue;
+    break;
+  }
+  lex.Consume('.');
+  if (!lex.AtEnd()) return Status::ParseError("trailing input after query");
+  // Head variables that repeat are allowed; deduplicate while keeping order.
+  std::vector<std::string> dedup;
+  for (const std::string& v : query.free_variables) {
+    if (std::find(dedup.begin(), dedup.end(), v) == dedup.end()) {
+      dedup.push_back(v);
+    }
+  }
+  query.free_variables = std::move(dedup);
+  return query;
+}
+
+Hypergraph QueryHypergraph(const ConjunctiveQuery& query) {
+  HypergraphBuilder builder;
+  for (size_t a = 0; a < query.atoms.size(); ++a) {
+    builder.AddEdge("a" + std::to_string(a), query.atoms[a].variables);
+  }
+  return std::move(builder).Build();
+}
+
+Result<QueryAnswer> EvaluateConjunctiveQuery(const Database& db,
+                                             const ConjunctiveQuery& query) {
+  const Hypergraph h = QueryHypergraph(query);
+  Status check = CheckQuery(db, query, h);
+  if (!check.ok()) return check;
+
+  std::vector<Relation> atom_relations;
+  for (const QueryAtom& atom : query.atoms) {
+    Result<Relation> r = AtomRelation(db, atom, h);
+    if (!r.ok()) return r.status();
+    atom_relations.push_back(std::move(r).value());
+  }
+
+  // Decompose the query hypergraph and materialize one relation per node:
+  // the join of its λ-atoms projected onto its bag.
+  GhwUpperBoundResult decomp =
+      GhwUpperBound(h, OrderingHeuristic::kMinFill, CoverMode::kExact);
+  const GeneralizedHypertreeDecomposition complete =
+      MakeComplete(h, decomp.ghd);
+  const int t = complete.num_nodes();
+  std::vector<Relation> node_relations;
+  node_relations.reserve(t);
+  for (int p = 0; p < t; ++p) {
+    const std::vector<int>& lambda = complete.guards[p];
+    if (lambda.empty()) {
+      Relation truth(std::vector<int>{});
+      truth.AddTuple({});
+      node_relations.push_back(std::move(truth));
+      continue;
+    }
+    Relation joined = atom_relations[lambda[0]];
+    for (size_t i = 1; i < lambda.size(); ++i) {
+      joined = Relation::NaturalJoin(joined, atom_relations[lambda[i]]);
+    }
+    node_relations.push_back(
+        joined.ProjectOnto(complete.bags[p].ToVector()));
+  }
+
+  // Orient the tree at node 0 and run the Yannakakis full reduction.
+  std::vector<std::vector<int>> adj(t);
+  for (const auto& [a, b] : complete.tree_edges) {
+    adj[a].push_back(b);
+    adj[b].push_back(a);
+  }
+  std::vector<int> parent(t, -2), order;
+  order.push_back(0);
+  parent[0] = -1;
+  for (size_t i = 0; i < order.size(); ++i) {
+    for (int q : adj[order[i]]) {
+      if (parent[q] == -2) {
+        parent[q] = order[i];
+        order.push_back(q);
+      }
+    }
+  }
+  GHD_CHECK(static_cast<int>(order.size()) == t);
+  for (int i = t - 1; i >= 1; --i) {
+    const int node = order[i];
+    node_relations[parent[node]] =
+        node_relations[parent[node]].SemijoinWith(node_relations[node]);
+    if (node_relations[parent[node]].empty()) {
+      return FinishAnswer(query, h, Relation(std::vector<int>{}),
+                          decomp.width);
+    }
+  }
+  for (size_t i = 1; i < order.size(); ++i) {
+    const int node = order[i];
+    node_relations[node] =
+        node_relations[node].SemijoinWith(node_relations[parent[node]]);
+  }
+
+  // Bottom-up answer assembly: at each node join the reduced relation with
+  // the children's partial answers and project onto the variables still
+  // needed above (free variables plus the connector to the parent).
+  VertexSet free_vars(h.num_vertices());
+  for (const std::string& v : query.free_variables) {
+    free_vars.Set(h.VertexIdOf(v));
+  }
+  std::vector<Relation> partial(t, Relation(std::vector<int>{}));
+  for (int i = t - 1; i >= 0; --i) {
+    const int node = order[i];
+    Relation acc = node_relations[node];
+    for (int q : adj[node]) {
+      if (parent[q] == node) acc = Relation::NaturalJoin(acc, partial[q]);
+    }
+    // Keep free variables present in acc plus the connector to the parent.
+    VertexSet keep(h.num_vertices());
+    for (int v : acc.scope()) {
+      if (free_vars.Test(v)) keep.Set(v);
+    }
+    if (parent[node] >= 0) {
+      VertexSet connector = complete.bags[node];
+      connector &= complete.bags[parent[node]];
+      keep |= connector;
+    }
+    // keep ⊆ acc's scope: free vars were filtered by it and the connector
+    // lies inside this node's bag.
+    partial[node] = acc.ProjectOnto(keep.ToVector());
+  }
+  return FinishAnswer(query, h, partial[0], decomp.width);
+}
+
+Result<QueryAnswer> EvaluateByFullJoin(const Database& db,
+                                       const ConjunctiveQuery& query) {
+  const Hypergraph h = QueryHypergraph(query);
+  Status check = CheckQuery(db, query, h);
+  if (!check.ok()) return check;
+  Result<Relation> first = AtomRelation(db, query.atoms[0], h);
+  if (!first.ok()) return first.status();
+  Relation joined = std::move(first).value();
+  for (size_t a = 1; a < query.atoms.size(); ++a) {
+    Result<Relation> r = AtomRelation(db, query.atoms[a], h);
+    if (!r.ok()) return r.status();
+    joined = Relation::NaturalJoin(joined, r.value());
+  }
+  if (joined.empty()) {
+    return FinishAnswer(query, h, Relation(std::vector<int>{}), 0);
+  }
+  return FinishAnswer(query, h, std::move(joined), 0);
+}
+
+}  // namespace ghd

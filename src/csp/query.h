@@ -1,0 +1,76 @@
+// Conjunctive query evaluation — the paper's original database setting.
+// A conjunctive query is a set of atoms over a database of relations plus a
+// list of free (output) variables; its hypergraph's GHW bounds evaluation
+// cost. Evaluation: decompose the query hypergraph, materialize the join
+// tree, run the Yannakakis full reduction, then join the reduced relations
+// bottom-up projecting onto free variables — output-polynomial on
+// bounded-width queries.
+#ifndef GHD_CSP_QUERY_H_
+#define GHD_CSP_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "csp/relation.h"
+#include "hypergraph/hypergraph.h"
+#include "util/status.h"
+
+namespace ghd {
+
+/// One query atom: a relation name applied to variables, e.g. r(x, y, x).
+/// Repeated variables express equality selections.
+struct QueryAtom {
+  std::string relation;
+  std::vector<std::string> variables;
+};
+
+/// A conjunctive query: answer(free_variables) :- atoms.
+struct ConjunctiveQuery {
+  std::vector<std::string> free_variables;
+  std::vector<QueryAtom> atoms;
+};
+
+/// A named database of relations. Scopes in stored relations are positional
+/// (0, 1, ...); arity must match each atom using them.
+struct Database {
+  std::vector<std::string> names;
+  std::vector<std::vector<std::vector<int>>> tables;  // rows of values
+
+  /// Adds a table; all rows must have equal arity.
+  void AddTable(const std::string& name,
+                std::vector<std::vector<int>> rows);
+  int IndexOf(const std::string& name) const;
+};
+
+/// Parses "ans(x, z) :- r(x, y), s(y, z)." Returns ParseError on malformed
+/// input. Whitespace is free; the trailing period is optional.
+Result<ConjunctiveQuery> ParseConjunctiveQuery(const std::string& text);
+
+/// The query hypergraph: one vertex per variable, one edge per atom.
+/// Atoms with repeated variables contribute their variable set.
+Hypergraph QueryHypergraph(const ConjunctiveQuery& query);
+
+/// Result of evaluation: the answer relation over the free variables (in
+/// their query order), deduplicated.
+struct QueryAnswer {
+  std::vector<std::string> variables;
+  std::vector<std::vector<int>> rows;
+  int decomposition_width = 0;
+};
+
+/// Evaluates the query over the database via a GHD of the query hypergraph:
+/// per-node joins bounded by the width, Yannakakis reduction, then a
+/// bottom-up join projected onto free variables ∪ connectors.
+/// Errors: unknown relation names, arity mismatches, free variables not
+/// occurring in any atom.
+Result<QueryAnswer> EvaluateConjunctiveQuery(const Database& db,
+                                             const ConjunctiveQuery& query);
+
+/// Reference evaluator: full join of all atoms then projection. Exponential;
+/// for testing the decomposed evaluator.
+Result<QueryAnswer> EvaluateByFullJoin(const Database& db,
+                                       const ConjunctiveQuery& query);
+
+}  // namespace ghd
+
+#endif  // GHD_CSP_QUERY_H_

@@ -1,0 +1,157 @@
+#include "csp/relation.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace ghd {
+namespace {
+
+// FNV-1a over an int vector (hash-join keys).
+struct IntVectorHash {
+  size_t operator()(const std::vector<int>& v) const {
+    uint64_t h = 14695981039346656037ull;
+    for (int x : v) {
+      h ^= static_cast<uint64_t>(static_cast<uint32_t>(x));
+      h *= 1099511628211ull;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+// Positions in `scope` of the variables shared with `other_scope`, plus the
+// matching positions in other_scope, aligned pairwise.
+void SharedPositions(const std::vector<int>& scope,
+                     const std::vector<int>& other_scope,
+                     std::vector<int>* here, std::vector<int>* there) {
+  for (size_t i = 0; i < scope.size(); ++i) {
+    for (size_t j = 0; j < other_scope.size(); ++j) {
+      if (scope[i] == other_scope[j]) {
+        here->push_back(static_cast<int>(i));
+        there->push_back(static_cast<int>(j));
+      }
+    }
+  }
+}
+
+std::vector<int> KeyOf(const std::vector<int>& tuple,
+                       const std::vector<int>& positions) {
+  std::vector<int> key;
+  key.reserve(positions.size());
+  for (int p : positions) key.push_back(tuple[p]);
+  return key;
+}
+
+}  // namespace
+
+Relation::Relation(std::vector<int> scope) : scope_(std::move(scope)) {
+  for (size_t i = 0; i < scope_.size(); ++i) {
+    for (size_t j = i + 1; j < scope_.size(); ++j) {
+      GHD_CHECK(scope_[i] != scope_[j]);
+    }
+  }
+}
+
+int Relation::PositionOf(int var) const {
+  for (size_t i = 0; i < scope_.size(); ++i) {
+    if (scope_[i] == var) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void Relation::AddTuple(std::vector<int> tuple) {
+  GHD_CHECK(tuple.size() == scope_.size());
+  tuples_.push_back(std::move(tuple));
+}
+
+Relation Relation::NaturalJoin(const Relation& a, const Relation& b) {
+  std::vector<int> shared_a, shared_b;
+  SharedPositions(a.scope_, b.scope_, &shared_a, &shared_b);
+  // Output scope: a's scope followed by b's non-shared variables.
+  std::vector<int> out_scope = a.scope_;
+  std::vector<int> b_extra_positions;
+  for (size_t j = 0; j < b.scope_.size(); ++j) {
+    if (a.PositionOf(b.scope_[j]) < 0) {
+      out_scope.push_back(b.scope_[j]);
+      b_extra_positions.push_back(static_cast<int>(j));
+    }
+  }
+  Relation out(std::move(out_scope));
+  // Hash b on the shared key, probe with a.
+  std::unordered_map<std::vector<int>, std::vector<int>, IntVectorHash> index;
+  for (int t = 0; t < b.size(); ++t) {
+    index[KeyOf(b.tuples_[t], shared_b)].push_back(t);
+  }
+  for (const auto& ta : a.tuples_) {
+    auto it = index.find(KeyOf(ta, shared_a));
+    if (it == index.end()) continue;
+    for (int t : it->second) {
+      std::vector<int> combined = ta;
+      for (int p : b_extra_positions) combined.push_back(b.tuples_[t][p]);
+      out.tuples_.push_back(std::move(combined));
+    }
+  }
+  return out;
+}
+
+Relation Relation::SemijoinWith(const Relation& other) const {
+  std::vector<int> here, there;
+  SharedPositions(scope_, other.scope_, &here, &there);
+  Relation out(scope_);
+  std::unordered_set<std::vector<int>, IntVectorHash> keys;
+  for (const auto& t : other.tuples_) keys.insert(KeyOf(t, there));
+  for (const auto& t : tuples_) {
+    if (keys.count(KeyOf(t, here)) != 0) out.tuples_.push_back(t);
+  }
+  return out;
+}
+
+Relation Relation::ProjectOnto(const std::vector<int>& vars) const {
+  std::vector<int> positions;
+  positions.reserve(vars.size());
+  for (int v : vars) {
+    const int p = PositionOf(v);
+    GHD_CHECK(p >= 0);
+    positions.push_back(p);
+  }
+  Relation out(vars);
+  std::unordered_set<std::vector<int>, IntVectorHash> seen;
+  for (const auto& t : tuples_) {
+    std::vector<int> projected = KeyOf(t, positions);
+    if (seen.insert(projected).second) out.tuples_.push_back(std::move(projected));
+  }
+  return out;
+}
+
+bool Relation::HasTupleConsistentWith(
+    const std::vector<int>& assignment) const {
+  return FindTupleConsistentWith(assignment) != nullptr;
+}
+
+const std::vector<int>* Relation::FindTupleConsistentWith(
+    const std::vector<int>& assignment) const {
+  for (const auto& t : tuples_) {
+    bool ok = true;
+    for (size_t i = 0; i < scope_.size() && ok; ++i) {
+      const int assigned = assignment[scope_[i]];
+      if (assigned >= 0 && assigned != t[i]) ok = false;
+    }
+    if (ok) return &t;
+  }
+  return nullptr;
+}
+
+void Relation::Deduplicate() {
+  std::unordered_set<std::vector<int>, IntVectorHash> seen;
+  std::vector<std::vector<int>> unique;
+  unique.reserve(tuples_.size());
+  for (auto& t : tuples_) {
+    if (seen.insert(t).second) unique.push_back(std::move(t));
+  }
+  tuples_ = std::move(unique);
+}
+
+}  // namespace ghd

@@ -1,0 +1,59 @@
+// In-memory relations over integer-valued variables, with the relational
+// operators (natural join, semijoin, projection) that decomposition-based
+// CSP / conjunctive-query evaluation is built from.
+#ifndef GHD_CSP_RELATION_H_
+#define GHD_CSP_RELATION_H_
+
+#include <vector>
+
+namespace ghd {
+
+/// A relation with a scope of distinct variable ids and a list of tuples
+/// (one value per scope position).
+class Relation {
+ public:
+  /// Empty relation over `scope` (variable ids must be distinct).
+  explicit Relation(std::vector<int> scope);
+
+  const std::vector<int>& scope() const { return scope_; }
+  int arity() const { return static_cast<int>(scope_.size()); }
+  int size() const { return static_cast<int>(tuples_.size()); }
+  bool empty() const { return tuples_.empty(); }
+  const std::vector<std::vector<int>>& tuples() const { return tuples_; }
+
+  /// Position of variable `var` in the scope, or -1.
+  int PositionOf(int var) const;
+
+  /// Appends a tuple; its length must equal the arity.
+  void AddTuple(std::vector<int> tuple);
+
+  /// Natural join: scopes are merged, tuples agree on shared variables.
+  static Relation NaturalJoin(const Relation& a, const Relation& b);
+
+  /// Semijoin: the tuples of *this that agree with at least one tuple of
+  /// `other` on the shared variables.
+  Relation SemijoinWith(const Relation& other) const;
+
+  /// Projection onto `vars` (each must be in the scope), with deduplication.
+  Relation ProjectOnto(const std::vector<int>& vars) const;
+
+  /// True when some tuple agrees with `assignment` on every scope variable
+  /// assigned there (assignment[v] < 0 means unassigned). Used for partial
+  /// consistency checks in backtracking search.
+  bool HasTupleConsistentWith(const std::vector<int>& assignment) const;
+
+  /// First tuple consistent with `assignment`, or nullptr.
+  const std::vector<int>* FindTupleConsistentWith(
+      const std::vector<int>& assignment) const;
+
+  /// Removes duplicate tuples.
+  void Deduplicate();
+
+ private:
+  std::vector<int> scope_;
+  std::vector<std::vector<int>> tuples_;
+};
+
+}  // namespace ghd
+
+#endif  // GHD_CSP_RELATION_H_

@@ -1,0 +1,163 @@
+#include "csp/sat.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "hypergraph/hypergraph_builder.h"
+#include "util/check.h"
+
+namespace ghd {
+namespace {
+
+enum : int8_t { kUnassigned = -1, kFalse = 0, kTrue = 1 };
+
+struct Dpll {
+  const CnfFormula* formula;
+  long node_budget;
+  long nodes = 0;
+  bool out_of_budget = false;
+  std::vector<int8_t> value;  // indexed by variable, [1..n]
+
+  bool LiteralTrue(int lit) const {
+    const int8_t v = value[std::abs(lit)];
+    return v != kUnassigned && ((lit > 0) == (v == kTrue));
+  }
+  bool LiteralFalse(int lit) const {
+    const int8_t v = value[std::abs(lit)];
+    return v != kUnassigned && ((lit > 0) == (v == kFalse));
+  }
+
+  // Unit propagation; returns false on conflict. Appends assigned variables
+  // to `trail` for undo.
+  bool Propagate(std::vector<int>* trail) {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const auto& clause : formula->clauses) {
+        int unassigned_lit = 0;
+        int unassigned_count = 0;
+        bool satisfied = false;
+        for (int lit : clause) {
+          if (LiteralTrue(lit)) {
+            satisfied = true;
+            break;
+          }
+          if (!LiteralFalse(lit)) {
+            ++unassigned_count;
+            unassigned_lit = lit;
+          }
+        }
+        if (satisfied) continue;
+        if (unassigned_count == 0) return false;  // conflict
+        if (unassigned_count == 1) {
+          const int var = std::abs(unassigned_lit);
+          value[var] = unassigned_lit > 0 ? kTrue : kFalse;
+          trail->push_back(var);
+          changed = true;
+        }
+      }
+    }
+    return true;
+  }
+
+  bool Recurse() {
+    ++nodes;
+    if (node_budget > 0 && nodes > node_budget) {
+      out_of_budget = true;
+      return false;
+    }
+    std::vector<int> trail;
+    if (!Propagate(&trail)) {
+      for (int v : trail) value[v] = kUnassigned;
+      return false;
+    }
+    int branch = 0;
+    for (int v = 1; v <= formula->num_vars; ++v) {
+      if (value[v] == kUnassigned) {
+        branch = v;
+        break;
+      }
+    }
+    if (branch == 0) return true;  // all assigned, no conflict
+    for (int8_t try_value : {kTrue, kFalse}) {
+      value[branch] = try_value;
+      if (Recurse()) return true;
+      value[branch] = kUnassigned;
+      if (out_of_budget) break;
+    }
+    for (int v : trail) value[v] = kUnassigned;
+    return false;
+  }
+};
+
+}  // namespace
+
+std::optional<std::vector<bool>> SolveDpll(const CnfFormula& formula,
+                                           long node_budget) {
+  Dpll solver;
+  solver.formula = &formula;
+  solver.node_budget = node_budget;
+  solver.value.assign(formula.num_vars + 1, kUnassigned);
+  if (!solver.Recurse()) return std::nullopt;
+  std::vector<bool> assignment(formula.num_vars + 1, false);
+  for (int v = 1; v <= formula.num_vars; ++v) {
+    assignment[v] = solver.value[v] == kTrue;
+  }
+  return assignment;
+}
+
+Csp CspFromCnf(const CnfFormula& formula) {
+  Csp csp;
+  for (int v = 1; v <= formula.num_vars; ++v) {
+    csp.variable_names.push_back("x" + std::to_string(v));
+    csp.domain_sizes.push_back(2);
+  }
+  for (const auto& clause : formula.clauses) {
+    std::vector<int> scope;
+    for (int lit : clause) {
+      const int var = std::abs(lit) - 1;  // CSP variables are 0-based.
+      bool duplicate = false;
+      for (int s : scope) duplicate = duplicate || s == var;
+      if (!duplicate) scope.push_back(var);
+    }
+    Relation r(scope);
+    const int arity = static_cast<int>(scope.size());
+    for (int mask = 0; mask < (1 << arity); ++mask) {
+      std::vector<int> tuple(arity);
+      for (int i = 0; i < arity; ++i) tuple[i] = (mask >> i) & 1;
+      bool satisfies = false;
+      for (int lit : clause) {
+        const int var = std::abs(lit) - 1;
+        int pos = -1;
+        for (int i = 0; i < arity; ++i) {
+          if (scope[i] == var) pos = i;
+        }
+        GHD_CHECK(pos >= 0);
+        if ((tuple[pos] == 1) == (lit > 0)) satisfies = true;
+      }
+      if (satisfies) r.AddTuple(std::move(tuple));
+    }
+    csp.constraints.push_back(std::move(r));
+  }
+  return csp;
+}
+
+Hypergraph ClauseHypergraph(const CnfFormula& formula) {
+  HypergraphBuilder builder;
+  for (int v = 1; v <= formula.num_vars; ++v) {
+    builder.AddVertex("x" + std::to_string(v));
+  }
+  for (size_t c = 0; c < formula.clauses.size(); ++c) {
+    std::vector<int> ids;
+    for (int lit : formula.clauses[c]) {
+      const int var = std::abs(lit) - 1;
+      bool duplicate = false;
+      for (int s : ids) duplicate = duplicate || s == var;
+      if (!duplicate) ids.push_back(var);
+    }
+    builder.AddEdgeByIds("cl" + std::to_string(c), ids);
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace ghd

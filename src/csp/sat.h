@@ -1,0 +1,35 @@
+// Boolean satisfiability substrate: CNF formulas, a DPLL solver, and the
+// SAT-as-CSP encoding (constraint hypergraphs of formulas). SAT is both a
+// canonical CSP workload and the source problem of NP-hardness reductions.
+#ifndef GHD_CSP_SAT_H_
+#define GHD_CSP_SAT_H_
+
+#include <optional>
+#include <vector>
+
+#include "csp/csp.h"
+#include "hypergraph/hypergraph.h"
+
+namespace ghd {
+
+/// CNF formula: variables 1..num_vars; a literal is +v or -v.
+struct CnfFormula {
+  int num_vars = 0;
+  std::vector<std::vector<int>> clauses;
+};
+
+/// DPLL with unit propagation. Returns a satisfying assignment indexed by
+/// variable (index 0 unused), or nullopt when unsatisfiable.
+std::optional<std::vector<bool>> SolveDpll(const CnfFormula& formula,
+                                           long node_budget = 0);
+
+/// SAT as a CSP: boolean variables, one constraint per clause whose relation
+/// holds every clause-satisfying combination.
+Csp CspFromCnf(const CnfFormula& formula);
+
+/// The clause hypergraph: one vertex per variable, one edge per clause.
+Hypergraph ClauseHypergraph(const CnfFormula& formula);
+
+}  // namespace ghd
+
+#endif  // GHD_CSP_SAT_H_

@@ -1,0 +1,100 @@
+#include "csp/yannakakis.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace ghd {
+namespace {
+
+// BFS order from node 0 with parent pointers.
+void OrientTree(const JoinTree& jt, std::vector<int>* order,
+                std::vector<int>* parent) {
+  const int t = jt.num_nodes();
+  std::vector<std::vector<int>> adj(t);
+  for (const auto& [a, b] : jt.edges) {
+    adj[a].push_back(b);
+    adj[b].push_back(a);
+  }
+  parent->assign(t, -1);
+  std::vector<char> seen(t, 0);
+  order->clear();
+  order->push_back(0);
+  seen[0] = 1;
+  for (size_t i = 0; i < order->size(); ++i) {
+    const int p = (*order)[i];
+    for (int q : adj[p]) {
+      if (!seen[q]) {
+        seen[q] = 1;
+        (*parent)[q] = p;
+        order->push_back(q);
+      }
+    }
+  }
+  GHD_CHECK(static_cast<int>(order->size()) == t);  // Join tree is connected.
+}
+
+}  // namespace
+
+std::optional<std::vector<int>> SolveAcyclic(const Csp& csp, JoinTree jt,
+                                             AcyclicSolveStats* stats) {
+  AcyclicSolveStats local;
+  AcyclicSolveStats* s = stats != nullptr ? stats : &local;
+  *s = AcyclicSolveStats{};
+  if (jt.num_nodes() == 0) return std::nullopt;
+
+  std::vector<int> order, parent;
+  OrientTree(jt, &order, &parent);
+
+  // Bottom-up: reduce each parent by each child (children first).
+  for (int i = jt.num_nodes() - 1; i >= 1; --i) {
+    const int node = order[i];
+    const int up = parent[node];
+    jt.relations[up] = jt.relations[up].SemijoinWith(jt.relations[node]);
+    ++s->semijoins;
+    if (jt.relations[up].empty()) return std::nullopt;
+  }
+  if (jt.relations[order[0]].empty()) return std::nullopt;
+
+  // Top-down: reduce each child by its parent.
+  for (size_t i = 1; i < order.size(); ++i) {
+    const int node = order[i];
+    jt.relations[node] = jt.relations[node].SemijoinWith(jt.relations[parent[node]]);
+    ++s->semijoins;
+    GHD_CHECK(!jt.relations[node].empty());  // Full reduction can't empty it.
+  }
+  for (const Relation& r : jt.relations) {
+    s->max_relation_size = std::max(s->max_relation_size,
+                                    static_cast<long>(r.size()));
+  }
+
+  // Backtrack-free extraction, parents before children.
+  std::vector<int> assignment(csp.num_variables(), -1);
+  for (int node : order) {
+    const Relation& r = jt.relations[node];
+    const std::vector<int>* tuple = r.FindTupleConsistentWith(assignment);
+    GHD_CHECK(tuple != nullptr);  // Guaranteed after the two passes.
+    for (int i = 0; i < r.arity(); ++i) assignment[r.scope()[i]] = (*tuple)[i];
+  }
+  // Unconstrained variables take any domain value.
+  for (int v = 0; v < csp.num_variables(); ++v) {
+    if (assignment[v] < 0) {
+      GHD_CHECK(csp.domain_sizes[v] >= 1);
+      assignment[v] = 0;
+    }
+  }
+  return assignment;
+}
+
+std::optional<std::vector<int>> SolveViaDecomposition(
+    const Csp& csp, const GeneralizedHypertreeDecomposition& ghd,
+    AcyclicSolveStats* stats) {
+  Result<JoinTree> jt = BuildJoinTree(csp, ghd);
+  GHD_CHECK(jt.ok());
+  std::optional<std::vector<int>> solution =
+      SolveAcyclic(csp, std::move(jt).value(), stats);
+  if (solution.has_value()) GHD_CHECK(csp.IsSolution(*solution));
+  return solution;
+}
+
+}  // namespace ghd

@@ -1,0 +1,38 @@
+// Yannakakis' acyclic-solving algorithm over join trees: a bottom-up
+// semijoin pass (detects inconsistency), a top-down semijoin pass, then
+// backtrack-free top-down extraction of one solution. Runs in time
+// polynomial in the join tree size — which a width-k decomposition bounds
+// by |instance|^k — realizing the tractability of bounded-ghw CSP classes.
+#ifndef GHD_CSP_YANNAKAKIS_H_
+#define GHD_CSP_YANNAKAKIS_H_
+
+#include <optional>
+#include <vector>
+
+#include "core/ghd.h"
+#include "csp/csp.h"
+#include "csp/join_tree.h"
+
+namespace ghd {
+
+/// Counters reported by the acyclic solver.
+struct AcyclicSolveStats {
+  long semijoins = 0;
+  long max_relation_size = 0;
+};
+
+/// Solves the acyclic instance: one complete assignment of the CSP, or
+/// nullopt when unsatisfiable. Variables in no relation get value 0.
+std::optional<std::vector<int>> SolveAcyclic(const Csp& csp, JoinTree jt,
+                                             AcyclicSolveStats* stats = nullptr);
+
+/// End-to-end: build the join tree from a decomposition of the constraint
+/// hypergraph, then solve. The returned assignment always satisfies the CSP
+/// (checked); nullopt means unsatisfiable.
+std::optional<std::vector<int>> SolveViaDecomposition(
+    const Csp& csp, const GeneralizedHypertreeDecomposition& ghd,
+    AcyclicSolveStats* stats = nullptr);
+
+}  // namespace ghd
+
+#endif  // GHD_CSP_YANNAKAKIS_H_

@@ -1,0 +1,81 @@
+#include "gen/circuits.h"
+
+#include <string>
+#include <vector>
+
+#include "hypergraph/hypergraph_builder.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace ghd {
+
+Hypergraph AdderHypergraph(int k) {
+  GHD_CHECK(k >= 1);
+  // Gate-level full adders (the shape of the DaimlerChrysler adder_k
+  // instances): per bit, s = (a xor b) xor cin and
+  // cout = (a and b) or ((a xor b) and cin), one hyperedge per gate.
+  HypergraphBuilder builder;
+  for (int i = 0; i < k; ++i) {
+    const std::string a = "a" + std::to_string(i);
+    const std::string b = "b" + std::to_string(i);
+    const std::string cin = "c" + std::to_string(i);
+    const std::string cout = "c" + std::to_string(i + 1);
+    const std::string s = "s" + std::to_string(i);
+    const std::string t1 = "t1_" + std::to_string(i);  // a xor b
+    const std::string t2 = "t2_" + std::to_string(i);  // a and b
+    const std::string t3 = "t3_" + std::to_string(i);  // t1 and cin
+    const std::string tag = std::to_string(i);
+    builder.AddEdge("xor1_" + tag, {a, b, t1});
+    builder.AddEdge("and1_" + tag, {a, b, t2});
+    builder.AddEdge("xor2_" + tag, {t1, cin, s});
+    builder.AddEdge("and2_" + tag, {t1, cin, t3});
+    builder.AddEdge("or1_" + tag, {t2, t3, cout});
+  }
+  return std::move(builder).Build();
+}
+
+Hypergraph BridgeHypergraph(int k) {
+  GHD_CHECK(k >= 1);
+  HypergraphBuilder builder;
+  int edge_id = 0;
+  auto edge = [&](const std::string& u, const std::string& v) {
+    builder.AddEdge("e" + std::to_string(edge_id++), {u, v});
+  };
+  for (int i = 0; i < k; ++i) {
+    const std::string t0 = "t" + std::to_string(i);
+    const std::string t1 = "t" + std::to_string(i + 1);
+    const std::string m1 = "m" + std::to_string(i) + "a";
+    const std::string m2 = "m" + std::to_string(i) + "b";
+    edge(t0, m1);
+    edge(t0, m2);
+    edge(m1, m2);
+    edge(m1, t1);
+    edge(m2, t1);
+  }
+  return std::move(builder).Build();
+}
+
+Hypergraph RandomCircuitHypergraph(int num_inputs, int num_gates,
+                                   uint64_t seed) {
+  GHD_CHECK(num_inputs >= 2 && num_gates >= 1);
+  Rng rng(seed);
+  HypergraphBuilder builder;
+  std::vector<std::string> signals;
+  for (int i = 0; i < num_inputs; ++i) {
+    signals.push_back("in" + std::to_string(i));
+    builder.AddVertex(signals.back());
+  }
+  for (int g = 0; g < num_gates; ++g) {
+    const int total = static_cast<int>(signals.size());
+    int in1 = rng.UniformInt(total);
+    int in2 = rng.UniformInt(total);
+    while (in2 == in1) in2 = rng.UniformInt(total);
+    const std::string out = "g" + std::to_string(g);
+    builder.AddEdge("gate" + std::to_string(g),
+                    {out, signals[in1], signals[in2]});
+    signals.push_back(out);
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace ghd

@@ -1,0 +1,30 @@
+// Circuit-shaped hypergraph families modeled on the DaimlerChrysler / ISCAS
+// instances of the public CSP hypergraph library (adder_k, bridge_k, bNN,
+// cNNN): the workloads GHW solvers are traditionally evaluated on.
+#ifndef GHD_GEN_CIRCUITS_H_
+#define GHD_GEN_CIRCUITS_H_
+
+#include <cstdint>
+
+#include "hypergraph/hypergraph.h"
+
+namespace ghd {
+
+/// k-bit ripple-carry adder at gate level (five 3-ary gate constraints per
+/// full adder, chained through the carries), the shape of the adder_k
+/// library instances. ghw(adder_k) = 2 for k >= 1.
+Hypergraph AdderHypergraph(int k);
+
+/// k Wheatstone-bridge cells in series (five 2-ary edges per cell between
+/// consecutive terminals). ghw(bridge_k) = 2 for k >= 1.
+Hypergraph BridgeHypergraph(int k);
+
+/// Random combinational circuit in ISCAS style: `num_inputs` primary inputs,
+/// `num_gates` two-input gates whose inputs are drawn from earlier signals;
+/// each gate contributes a 3-ary edge {out, in1, in2}.
+Hypergraph RandomCircuitHypergraph(int num_inputs, int num_gates,
+                                   uint64_t seed);
+
+}  // namespace ghd
+
+#endif  // GHD_GEN_CIRCUITS_H_

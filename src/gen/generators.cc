@@ -1,0 +1,160 @@
+#include "gen/generators.h"
+
+#include <cstdlib>
+
+#include "hypergraph/hypergraph_builder.h"
+#include "util/check.h"
+
+namespace ghd {
+namespace {
+
+// Names grid vertices "r<i>c<j>" and returns their ids via the builder.
+int GridId(int i, int j, int cols) { return i * cols + j; }
+
+}  // namespace
+
+Graph GridGraph(int rows, int cols) {
+  GHD_CHECK(rows >= 1 && cols >= 1);
+  Graph g(rows * cols);
+  for (int i = 0; i < rows; ++i) {
+    for (int j = 0; j < cols; ++j) {
+      if (j + 1 < cols) g.AddEdge(GridId(i, j, cols), GridId(i, j + 1, cols));
+      if (i + 1 < rows) g.AddEdge(GridId(i, j, cols), GridId(i + 1, j, cols));
+    }
+  }
+  return g;
+}
+
+Graph CliqueGraph(int n) {
+  GHD_CHECK(n >= 1);
+  Graph g(n);
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) g.AddEdge(u, v);
+  }
+  return g;
+}
+
+Graph CycleGraph(int n) {
+  GHD_CHECK(n >= 3);
+  Graph g(n);
+  for (int v = 0; v < n; ++v) g.AddEdge(v, (v + 1) % n);
+  return g;
+}
+
+Graph QueenGraph(int n) {
+  GHD_CHECK(n >= 1);
+  Graph g(n * n);
+  for (int r1 = 0; r1 < n; ++r1) {
+    for (int c1 = 0; c1 < n; ++c1) {
+      for (int r2 = 0; r2 < n; ++r2) {
+        for (int c2 = 0; c2 < n; ++c2) {
+          if (r1 == r2 && c1 == c2) continue;
+          const bool attacks = r1 == r2 || c1 == c2 ||
+                               std::abs(r1 - r2) == std::abs(c1 - c2);
+          if (attacks) g.AddEdge(r1 * n + c1, r2 * n + c2);
+        }
+      }
+    }
+  }
+  return g;
+}
+
+Graph HypercubeGraph(int d) {
+  GHD_CHECK(d >= 0 && d <= 20);
+  const int n = 1 << d;
+  Graph g(n);
+  for (int v = 0; v < n; ++v) {
+    for (int b = 0; b < d; ++b) g.AddEdge(v, v ^ (1 << b));
+  }
+  return g;
+}
+
+Graph PetersenGraph() {
+  Graph g(10);
+  // Outer 5-cycle 0..4, inner pentagram 5..9, spokes i -- i+5.
+  for (int i = 0; i < 5; ++i) {
+    g.AddEdge(i, (i + 1) % 5);
+    g.AddEdge(5 + i, 5 + (i + 2) % 5);
+    g.AddEdge(i, 5 + i);
+  }
+  return g;
+}
+
+Hypergraph Grid2dHypergraph(int rows, int cols) {
+  return HypergraphBuilder::FromGraph(GridGraph(rows, cols));
+}
+
+Hypergraph Grid3dHypergraph(int n) {
+  GHD_CHECK(n >= 1);
+  Graph g(n * n * n);
+  auto id = [n](int i, int j, int k) { return (i * n + j) * n + k; };
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      for (int k = 0; k < n; ++k) {
+        if (i + 1 < n) g.AddEdge(id(i, j, k), id(i + 1, j, k));
+        if (j + 1 < n) g.AddEdge(id(i, j, k), id(i, j + 1, k));
+        if (k + 1 < n) g.AddEdge(id(i, j, k), id(i, j, k + 1));
+      }
+    }
+  }
+  return HypergraphBuilder::FromGraph(g);
+}
+
+Hypergraph CliqueHypergraph(int n) {
+  return HypergraphBuilder::FromGraph(CliqueGraph(n));
+}
+
+Hypergraph CycleHypergraph(int n) {
+  return HypergraphBuilder::FromGraph(CycleGraph(n));
+}
+
+Hypergraph HypercubeHypergraph(int d) {
+  return HypergraphBuilder::FromGraph(HypercubeGraph(d));
+}
+
+Hypergraph TriangleStripHypergraph(int k) {
+  GHD_CHECK(k >= 1);
+  // Vertices 0..k+... : triangle t spans {t, t+1, apex_t}.
+  HypergraphBuilder builder;
+  int edge_id = 0;
+  for (int t = 0; t < k; ++t) {
+    const std::string a = "p" + std::to_string(t);
+    const std::string b = "p" + std::to_string(t + 1);
+    const std::string apex = "a" + std::to_string(t);
+    builder.AddEdge("e" + std::to_string(edge_id++), {a, b});
+    builder.AddEdge("e" + std::to_string(edge_id++), {b, apex});
+    builder.AddEdge("e" + std::to_string(edge_id++), {apex, a});
+  }
+  return std::move(builder).Build();
+}
+
+Hypergraph StarHypergraph(int k, int arity) {
+  GHD_CHECK(k >= 1 && arity >= 2);
+  HypergraphBuilder builder;
+  builder.AddVertex("center");
+  for (int e = 0; e < k; ++e) {
+    std::vector<std::string> names = {"center"};
+    for (int i = 1; i < arity; ++i) {
+      names.push_back("v" + std::to_string(e) + "_" + std::to_string(i));
+    }
+    builder.AddEdge("e" + std::to_string(e), names);
+  }
+  return std::move(builder).Build();
+}
+
+Hypergraph WindowPathHypergraph(int num_vertices, int arity, int step) {
+  GHD_CHECK(num_vertices >= arity && arity >= 1 && step >= 1);
+  HypergraphBuilder builder;
+  for (int v = 0; v < num_vertices; ++v) {
+    builder.AddVertex("v" + std::to_string(v));
+  }
+  int edge_id = 0;
+  for (int start = 0; start + arity <= num_vertices; start += step) {
+    std::vector<int> ids;
+    for (int i = 0; i < arity; ++i) ids.push_back(start + i);
+    builder.AddEdgeByIds("w" + std::to_string(edge_id++), ids);
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace ghd

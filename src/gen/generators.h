@@ -1,0 +1,63 @@
+// Deterministic structured instance families: the synthetic stand-ins for the
+// public CSP-hypergraph-library benchmarks (grids, cliques, cycles,
+// hypercubes) with known or well-understood widths, used as ground truth by
+// tests and as workloads by the experiment harnesses.
+#ifndef GHD_GEN_GENERATORS_H_
+#define GHD_GEN_GENERATORS_H_
+
+#include "graph/graph.h"
+#include "hypergraph/hypergraph.h"
+
+namespace ghd {
+
+/// rows x cols grid graph. tw(n x n) = n for n >= 2.
+Graph GridGraph(int rows, int cols);
+
+/// Complete graph K_n. tw = n - 1.
+Graph CliqueGraph(int n);
+
+/// Cycle C_n (n >= 3). tw = 2.
+Graph CycleGraph(int n);
+
+/// n x n queen graph (DIMACS queenN_N): squares attack along rows, columns
+/// and diagonals.
+Graph QueenGraph(int n);
+
+/// d-dimensional hypercube graph (2^d vertices).
+Graph HypercubeGraph(int d);
+
+/// The Petersen graph (10 vertices, 15 edges, treewidth 4).
+Graph PetersenGraph();
+
+/// 2-uniform hypergraph of the rows x cols grid.
+Hypergraph Grid2dHypergraph(int rows, int cols);
+
+/// 2-uniform hypergraph of the n x n x n grid.
+Hypergraph Grid3dHypergraph(int n);
+
+/// 2-uniform clique hypergraph of K_n. ghw(K_n) = ceil(n/2).
+Hypergraph CliqueHypergraph(int n);
+
+/// 2-uniform cycle hypergraph of C_n. ghw = 2 for every n >= 3 (cycles are
+/// not alpha-acyclic; every elimination bag of 3 vertices is covered by two
+/// incident cycle edges).
+Hypergraph CycleHypergraph(int n);
+
+/// 2-uniform hypercube hypergraph.
+Hypergraph HypercubeHypergraph(int d);
+
+/// k triangles glued along a path of shared vertices. ghw = 2 for k >= 1.
+Hypergraph TriangleStripHypergraph(int k);
+
+/// Star: k edges of size `arity`, pairwise intersecting exactly in one shared
+/// center vertex. Alpha-acyclic: ghw = hw = 1.
+Hypergraph StarHypergraph(int k, int arity);
+
+/// Sliding-window path: edges {v_i, ..., v_{i+arity-1}} for i = 0, step,
+/// 2*step, ... Interval hypergraphs (any step >= 1) are alpha-acyclic, so
+/// ghw = 1; they exercise large-arity acyclic inputs.
+Hypergraph WindowPathHypergraph(int num_vertices, int arity, int step);
+
+}  // namespace ghd
+
+#endif  // GHD_GEN_GENERATORS_H_

@@ -1,0 +1,118 @@
+#include "gen/random_hypergraphs.h"
+
+#include <string>
+#include <vector>
+
+#include "hypergraph/hypergraph_builder.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace ghd {
+namespace {
+
+// Samples `arity` distinct vertex ids from [0, n).
+std::vector<int> SampleEdge(int n, int arity, Rng* rng) {
+  std::vector<int> ids;
+  ids.reserve(arity);
+  while (static_cast<int>(ids.size()) < arity) {
+    const int v = rng->UniformInt(n);
+    bool duplicate = false;
+    for (int u : ids) duplicate = duplicate || u == v;
+    if (!duplicate) ids.push_back(v);
+  }
+  return ids;
+}
+
+Hypergraph BuildFromEdges(int n, const std::vector<std::vector<int>>& edges) {
+  HypergraphBuilder builder;
+  for (int v = 0; v < n; ++v) builder.AddVertex("v" + std::to_string(v));
+  for (size_t e = 0; e < edges.size(); ++e) {
+    builder.AddEdgeByIds("e" + std::to_string(e), edges[e]);
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace
+
+Graph RandomGraph(int n, double p, uint64_t seed) {
+  GHD_CHECK(n >= 0 && p >= 0.0 && p <= 1.0);
+  Rng rng(seed);
+  Graph g(n);
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      if (rng.Bernoulli(p)) g.AddEdge(u, v);
+    }
+  }
+  return g;
+}
+
+Hypergraph RandomUniformHypergraph(int n, int m, int arity, uint64_t seed) {
+  GHD_CHECK(n >= arity && arity >= 1 && m >= 1);
+  Rng rng(seed);
+  std::vector<std::vector<int>> edges;
+  edges.reserve(m);
+  for (int e = 0; e < m; ++e) edges.push_back(SampleEdge(n, arity, &rng));
+  return BuildFromEdges(n, edges);
+}
+
+Hypergraph RandomBoundedIntersectionHypergraph(int n, int m, int arity,
+                                               int max_intersection,
+                                               uint64_t seed) {
+  GHD_CHECK(n >= arity && arity >= 1 && m >= 1 && max_intersection >= 0);
+  Rng rng(seed);
+  std::vector<VertexSet> chosen;
+  std::vector<std::vector<int>> edges;
+  long attempts = 0;
+  const long max_attempts = 1000L * m + 100000;
+  while (static_cast<int>(edges.size()) < m) {
+    GHD_CHECK(++attempts < max_attempts);  // Parameters must be feasible.
+    std::vector<int> candidate = SampleEdge(n, arity, &rng);
+    VertexSet cs = VertexSet::Of(n, candidate);
+    bool ok = true;
+    for (const VertexSet& existing : chosen) {
+      if (cs.IntersectCount(existing) > max_intersection) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      chosen.push_back(std::move(cs));
+      edges.push_back(std::move(candidate));
+    }
+  }
+  return BuildFromEdges(n, edges);
+}
+
+Hypergraph RandomBoundedDegreeHypergraph(int n, int m, int arity,
+                                         int max_degree, uint64_t seed) {
+  GHD_CHECK(n >= arity && arity >= 1 && m >= 1 && max_degree >= 1);
+  // Feasibility: m * arity slots over n vertices with max_degree each.
+  GHD_CHECK(static_cast<long>(m) * arity <=
+            static_cast<long>(n) * max_degree);
+  Rng rng(seed);
+  std::vector<int> degree(n, 0);
+  std::vector<std::vector<int>> edges;
+  long attempts = 0;
+  const long max_attempts = 1000L * m + 100000;
+  while (static_cast<int>(edges.size()) < m) {
+    GHD_CHECK(++attempts < max_attempts);
+    // Sample among vertices with remaining capacity.
+    std::vector<int> available;
+    for (int v = 0; v < n; ++v) {
+      if (degree[v] < max_degree) available.push_back(v);
+    }
+    if (static_cast<int>(available.size()) < arity) break;
+    std::vector<int> ids;
+    while (static_cast<int>(ids.size()) < arity) {
+      const int v = available[rng.UniformInt(static_cast<int>(available.size()))];
+      bool duplicate = false;
+      for (int u : ids) duplicate = duplicate || u == v;
+      if (!duplicate) ids.push_back(v);
+    }
+    for (int v : ids) ++degree[v];
+    edges.push_back(std::move(ids));
+  }
+  return BuildFromEdges(n, edges);
+}
+
+}  // namespace ghd

@@ -1,0 +1,33 @@
+// Seeded random instance generators, including the bounded-intersection and
+// bounded-degree families that realize the paper's tractable classes.
+#ifndef GHD_GEN_RANDOM_HYPERGRAPHS_H_
+#define GHD_GEN_RANDOM_HYPERGRAPHS_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "hypergraph/hypergraph.h"
+
+namespace ghd {
+
+/// Erdős–Rényi G(n, p) graph.
+Graph RandomGraph(int n, double p, uint64_t seed);
+
+/// `m` hyperedges of exactly `arity` distinct vertices each, chosen uniformly
+/// from `n` vertices. No structural guarantees — the "general, NP-hard" diet.
+Hypergraph RandomUniformHypergraph(int n, int m, int arity, uint64_t seed);
+
+/// Like RandomUniformHypergraph, but every pair of distinct edges shares at
+/// most `max_intersection` vertices (rejection sampling): the BIP(i) class.
+Hypergraph RandomBoundedIntersectionHypergraph(int n, int m, int arity,
+                                               int max_intersection,
+                                               uint64_t seed);
+
+/// Like RandomUniformHypergraph, but every vertex occurs in at most
+/// `max_degree` edges: the bounded-degree tractable class.
+Hypergraph RandomBoundedDegreeHypergraph(int n, int m, int arity,
+                                         int max_degree, uint64_t seed);
+
+}  // namespace ghd
+
+#endif  // GHD_GEN_RANDOM_HYPERGRAPHS_H_

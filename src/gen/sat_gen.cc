@@ -1,0 +1,31 @@
+#include "gen/sat_gen.h"
+
+#include <cstdlib>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace ghd {
+
+CnfFormula RandomKSat(int num_vars, int num_clauses, int k, uint64_t seed) {
+  GHD_CHECK(num_vars >= k && k >= 1 && num_clauses >= 1);
+  Rng rng(seed);
+  CnfFormula formula;
+  formula.num_vars = num_vars;
+  formula.clauses.reserve(num_clauses);
+  for (int c = 0; c < num_clauses; ++c) {
+    std::vector<int> clause;
+    while (static_cast<int>(clause.size()) < k) {
+      const int var = 1 + rng.UniformInt(num_vars);
+      bool duplicate = false;
+      for (int lit : clause) duplicate = duplicate || std::abs(lit) == var;
+      if (!duplicate) {
+        clause.push_back(rng.Bernoulli(0.5) ? var : -var);
+      }
+    }
+    formula.clauses.push_back(std::move(clause));
+  }
+  return formula;
+}
+
+}  // namespace ghd

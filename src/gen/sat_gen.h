@@ -1,0 +1,17 @@
+// Random CNF generators for the SAT substrate and hardness experiments.
+#ifndef GHD_GEN_SAT_GEN_H_
+#define GHD_GEN_SAT_GEN_H_
+
+#include <cstdint>
+
+#include "csp/sat.h"
+
+namespace ghd {
+
+/// Uniform random k-SAT: `num_clauses` clauses of `k` distinct variables with
+/// independent random polarities.
+CnfFormula RandomKSat(int num_vars, int num_clauses, int k, uint64_t seed);
+
+}  // namespace ghd
+
+#endif  // GHD_GEN_SAT_GEN_H_

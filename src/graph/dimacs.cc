@@ -1,0 +1,66 @@
+#include "graph/dimacs.h"
+
+#include <fstream>
+#include <optional>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace ghd {
+
+Result<Graph> ParseDimacsGraph(const std::string& content) {
+  std::optional<Graph> graph;
+  int declared_edges = 0;
+  int seen_edges = 0;
+  int line_no = 0;
+  std::istringstream in(content);
+  std::string line;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view s = TrimWhitespace(line);
+    if (s.empty() || s[0] == 'c') continue;
+    std::vector<std::string> tok = SplitTrimmed(s, ' ');
+    auto err = [&](const std::string& what) {
+      return Status::ParseError("line " + std::to_string(line_no) + ": " + what);
+    };
+    if (tok[0] == "p") {
+      if (graph.has_value()) return err("duplicate problem line");
+      if (tok.size() != 4 || (tok[1] != "edge" && tok[1] != "col")) {
+        return err("expected 'p edge N M'");
+      }
+      int n = ParseNonNegativeInt(tok[2]);
+      declared_edges = ParseNonNegativeInt(tok[3]);
+      if (n < 0 || declared_edges < 0) return err("bad problem line counts");
+      graph.emplace(n);
+    } else if (tok[0] == "e") {
+      if (!graph.has_value()) return err("edge line before problem line");
+      if (tok.size() != 3) return err("expected 'e u v'");
+      int u = ParseNonNegativeInt(tok[1]);
+      int v = ParseNonNegativeInt(tok[2]);
+      if (u < 1 || v < 1 || u > graph->num_vertices() ||
+          v > graph->num_vertices()) {
+        return err("vertex id out of range");
+      }
+      graph->AddEdge(u - 1, v - 1);
+      ++seen_edges;
+    } else if (tok[0] == "n") {
+      // Vertex-weight lines appear in some coloring files; ignored.
+    } else {
+      return err("unknown directive '" + tok[0] + "'");
+    }
+  }
+  if (!graph.has_value()) return Status::ParseError("missing problem line");
+  (void)declared_edges;  // Many published files misstate M; trust edge lines.
+  (void)seen_edges;
+  return *std::move(graph);
+}
+
+Result<Graph> LoadDimacsGraph(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return Status::NotFound("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << f.rdbuf();
+  return ParseDimacsGraph(buffer.str());
+}
+
+}  // namespace ghd

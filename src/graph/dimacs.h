@@ -1,0 +1,22 @@
+// DIMACS graph-coloring (.col) format parser — the format of the classic
+// treewidth benchmark graphs (anna, david, queenN_N, myciel, ...).
+#ifndef GHD_GRAPH_DIMACS_H_
+#define GHD_GRAPH_DIMACS_H_
+
+#include <string>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace ghd {
+
+/// Parses DIMACS .col content: "c" comment lines, one "p edge N M" problem
+/// line, and "e u v" edge lines with 1-based vertex ids.
+Result<Graph> ParseDimacsGraph(const std::string& content);
+
+/// Reads and parses a DIMACS .col file from disk.
+Result<Graph> LoadDimacsGraph(const std::string& path);
+
+}  // namespace ghd
+
+#endif  // GHD_GRAPH_DIMACS_H_

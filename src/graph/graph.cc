@@ -1,0 +1,138 @@
+#include "graph/graph.h"
+
+namespace ghd {
+
+Graph::Graph(int num_vertices) : n_(num_vertices) {
+  GHD_CHECK(num_vertices >= 0);
+  adj_.assign(n_, VertexSet(n_));
+}
+
+int Graph::NumEdges() const {
+  int twice = 0;
+  for (const auto& a : adj_) twice += a.Count();
+  return twice / 2;
+}
+
+void Graph::AddEdge(int u, int v) {
+  GHD_DCHECK(u >= 0 && u < n_ && v >= 0 && v < n_);
+  if (u == v) return;
+  adj_[u].Set(v);
+  adj_[v].Set(u);
+}
+
+void Graph::RemoveEdge(int u, int v) {
+  GHD_DCHECK(u >= 0 && u < n_ && v >= 0 && v < n_);
+  adj_[u].Reset(v);
+  adj_[v].Reset(u);
+}
+
+bool Graph::IsClique(const VertexSet& s) const {
+  bool clique = true;
+  s.ForEach([&](int v) {
+    if (!clique) return;
+    // Every other member of s must be adjacent to v.
+    VertexSet others = s;
+    others.Reset(v);
+    if (!others.IsSubsetOf(adj_[v])) clique = false;
+  });
+  return clique;
+}
+
+int Graph::MakeClique(const VertexSet& s) {
+  int added = 0;
+  std::vector<int> vs = s.ToVector();
+  for (size_t i = 0; i < vs.size(); ++i) {
+    for (size_t j = i + 1; j < vs.size(); ++j) {
+      if (!HasEdge(vs[i], vs[j])) {
+        AddEdge(vs[i], vs[j]);
+        ++added;
+      }
+    }
+  }
+  return added;
+}
+
+int Graph::FillIn(const VertexSet& s) const {
+  int missing = 0;
+  std::vector<int> vs = s.ToVector();
+  for (size_t i = 0; i < vs.size(); ++i) {
+    for (size_t j = i + 1; j < vs.size(); ++j) {
+      if (!HasEdge(vs[i], vs[j])) ++missing;
+    }
+  }
+  return missing;
+}
+
+void Graph::EliminateVertex(int v) {
+  MakeClique(adj_[v]);
+  IsolateVertex(v);
+}
+
+void Graph::IsolateVertex(int v) {
+  adj_[v].ForEach([&](int u) { adj_[u].Reset(v); });
+  adj_[v].Clear();
+}
+
+void Graph::ContractEdge(int u, int v) {
+  GHD_DCHECK(HasEdge(u, v));
+  VertexSet nv = adj_[v];
+  IsolateVertex(v);
+  nv.Reset(u);
+  nv.ForEach([&](int w) { AddEdge(u, w); });
+}
+
+bool Graph::IsSimplicial(int v) const { return IsClique(adj_[v]); }
+
+bool Graph::IsAlmostSimplicial(int v) const {
+  if (adj_[v].Empty()) return false;
+  if (IsSimplicial(v)) return false;
+  bool found = false;
+  adj_[v].ForEach([&](int skip) {
+    if (found) return;
+    VertexSet rest = adj_[v];
+    rest.Reset(skip);
+    if (IsClique(rest)) found = true;
+  });
+  return found;
+}
+
+std::vector<VertexSet> Graph::ComponentsWithin(const VertexSet& within) const {
+  std::vector<VertexSet> comps;
+  VertexSet unseen = within;
+  std::vector<int> stack;
+  while (true) {
+    int start = unseen.First();
+    if (start < 0) break;
+    VertexSet comp(n_);
+    stack.assign(1, start);
+    unseen.Reset(start);
+    comp.Set(start);
+    while (!stack.empty()) {
+      int v = stack.back();
+      stack.pop_back();
+      VertexSet frontier = adj_[v];
+      frontier &= unseen;
+      frontier.ForEach([&](int u) {
+        comp.Set(u);
+        stack.push_back(u);
+      });
+      unseen -= frontier;
+    }
+    comps.push_back(std::move(comp));
+  }
+  return comps;
+}
+
+std::vector<VertexSet> Graph::Components() const {
+  return ComponentsWithin(VertexSet::Full(n_));
+}
+
+VertexSet Graph::NonIsolatedVertices() const {
+  VertexSet s(n_);
+  for (int v = 0; v < n_; ++v) {
+    if (!adj_[v].Empty()) s.Set(v);
+  }
+  return s;
+}
+
+}  // namespace ghd

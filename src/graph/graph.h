@@ -1,0 +1,76 @@
+// Undirected simple graph with bitset adjacency. Serves as the primal-graph
+// substrate for tree decompositions: vertex elimination, fill-in computation,
+// simplicial tests, contractions for lower bounds.
+#ifndef GHD_GRAPH_GRAPH_H_
+#define GHD_GRAPH_GRAPH_H_
+
+#include <vector>
+
+#include "util/bitset.h"
+
+namespace ghd {
+
+/// Undirected simple graph over vertices {0, ..., n-1}.
+class Graph {
+ public:
+  /// Graph with `num_vertices` vertices and no edges.
+  explicit Graph(int num_vertices);
+
+  int num_vertices() const { return n_; }
+  /// Number of (undirected) edges.
+  int NumEdges() const;
+
+  /// Adds edge {u, v}; self-loops are ignored, duplicates are idempotent.
+  void AddEdge(int u, int v);
+  void RemoveEdge(int u, int v);
+  bool HasEdge(int u, int v) const {
+    GHD_DCHECK(u >= 0 && u < n_ && v >= 0 && v < n_);
+    return adj_[u].Test(v);
+  }
+
+  /// Neighborhood of v as a bitset (does not contain v).
+  const VertexSet& Neighbors(int v) const { return adj_[v]; }
+  int Degree(int v) const { return adj_[v].Count(); }
+
+  /// True when every pair of vertices in `s` is adjacent.
+  bool IsClique(const VertexSet& s) const;
+  /// Adds all edges among `s`; returns the number of edges added (fill-in).
+  int MakeClique(const VertexSet& s);
+  /// Number of edges that MakeClique(s) would add, without mutating.
+  int FillIn(const VertexSet& s) const;
+
+  /// Number of fill edges created by eliminating v (clique on N(v)).
+  int EliminationFill(int v) const { return FillIn(adj_[v]); }
+
+  /// Eliminates v: turns N(v) into a clique, then removes all edges at v.
+  /// The vertex id stays valid but becomes isolated.
+  void EliminateVertex(int v);
+
+  /// Removes all edges incident to v without adding fill.
+  void IsolateVertex(int v);
+
+  /// Contracts edge {u, v} into u: N(u) |= N(v), then isolates v.
+  /// Used by treewidth lower bounds (minors).
+  void ContractEdge(int u, int v);
+
+  /// True when N(v) is a clique.
+  bool IsSimplicial(int v) const;
+  /// True when N(v) minus one vertex is a clique (and v has a neighbor).
+  bool IsAlmostSimplicial(int v) const;
+
+  /// Connected components restricted to `within`; each component is a bitset.
+  std::vector<VertexSet> ComponentsWithin(const VertexSet& within) const;
+  /// Connected components of the whole graph.
+  std::vector<VertexSet> Components() const;
+
+  /// Vertices with at least one incident edge.
+  VertexSet NonIsolatedVertices() const;
+
+ private:
+  int n_;
+  std::vector<VertexSet> adj_;
+};
+
+}  // namespace ghd
+
+#endif  // GHD_GRAPH_GRAPH_H_

@@ -1,0 +1,40 @@
+#include "htd/det_k_decomp.h"
+
+#include <algorithm>
+
+#include "core/ghw_lower.h"
+
+namespace ghd {
+
+KDeciderResult HypertreeWidthAtMost(const Hypergraph& h, int k,
+                                    const KDeciderOptions& options) {
+  return DecideWidthK(h, OriginalEdgesFamily(h), k, options);
+}
+
+HypertreeWidthResult HypertreeWidth(const Hypergraph& h, int max_k,
+                                    const KDeciderOptions& options) {
+  HypertreeWidthResult result;
+  if (h.num_edges() == 0) {
+    result.exact = true;
+    result.width = 0;
+    return result;
+  }
+  if (max_k <= 0) max_k = h.num_edges();
+  // ghw <= hw, so a GHW lower bound starts the iteration.
+  const int start = std::max(1, GhwLowerBound(h));
+  for (int k = start; k <= max_k; ++k) {
+    KDeciderResult r = HypertreeWidthAtMost(h, k, options);
+    result.states_visited += r.states_visited;
+    if (!r.decided) return result;  // exact stays false
+    if (r.exists) {
+      result.width = k;
+      result.exact = true;
+      result.decomposition = std::move(r.decomposition);
+      return result;
+    }
+    result.last_failed_k = k;
+  }
+  return result;
+}
+
+}  // namespace ghd

@@ -1,0 +1,37 @@
+// Hypertree width via the det-k-decomp normal-form search (Gottlob & Samer):
+// for fixed k, hw(H) <= k is polynomial-time decidable. Together with the
+// paper's inequality ghw <= hw <= 3*ghw + 1, this module is the polynomial
+// constant-factor approximation engine for generalized hypertree width.
+#ifndef GHD_HTD_DET_K_DECOMP_H_
+#define GHD_HTD_DET_K_DECOMP_H_
+
+#include "core/k_decider.h"
+#include "hypergraph/hypergraph.h"
+
+namespace ghd {
+
+/// Decides hw(H) <= k. Positive results carry a validated decomposition of
+/// width <= k (a GHD; the normal form guarantees it extends to a hypertree
+/// decomposition satisfying the special condition).
+KDeciderResult HypertreeWidthAtMost(const Hypergraph& h, int k,
+                                    const KDeciderOptions& options = {});
+
+/// Result of iterating k upward until hw is found.
+struct HypertreeWidthResult {
+  /// hw(H) when exact, otherwise meaningless.
+  int width = 0;
+  bool exact = false;
+  /// Largest k with hw(H) > k established before stopping (lower bound - 1).
+  int last_failed_k = 0;
+  GeneralizedHypertreeDecomposition decomposition;
+  long states_visited = 0;
+};
+
+/// Computes hw(H) by trying k = lb, lb+1, ..., max_k (max_k <= 0 means up to
+/// the number of edges). Stops early on budget exhaustion with exact = false.
+HypertreeWidthResult HypertreeWidth(const Hypergraph& h, int max_k = 0,
+                                    const KDeciderOptions& options = {});
+
+}  // namespace ghd
+
+#endif  // GHD_HTD_DET_K_DECOMP_H_

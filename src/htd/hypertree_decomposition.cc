@@ -1,0 +1,80 @@
+#include "htd/hypertree_decomposition.h"
+
+#include <vector>
+
+namespace ghd {
+namespace {
+
+// Computes, for the tree rooted at `root`, the union of bags in each node's
+// subtree via iterative post-order.
+std::vector<VertexSet> SubtreeBagUnions(
+    const GeneralizedHypertreeDecomposition& ghd, int root, Status* status) {
+  const int t = ghd.num_nodes();
+  std::vector<std::vector<int>> adj(t);
+  for (const auto& [a, b] : ghd.tree_edges) {
+    adj[a].push_back(b);
+    adj[b].push_back(a);
+  }
+  std::vector<int> parent(t, -2);
+  std::vector<int> order;
+  order.reserve(t);
+  order.push_back(root);
+  parent[root] = -1;
+  for (size_t i = 0; i < order.size(); ++i) {
+    const int p = order[i];
+    for (int q : adj[p]) {
+      if (parent[q] == -2) {
+        parent[q] = p;
+        order.push_back(q);
+      }
+    }
+  }
+  if (static_cast<int>(order.size()) != t) {
+    *status = Status::InvalidArgument("tree is not connected from the root");
+    return {};
+  }
+  std::vector<VertexSet> subtree(ghd.bags);
+  for (int i = t - 1; i >= 1; --i) {
+    const int p = order[i];
+    subtree[parent[p]] |= subtree[p];
+  }
+  return subtree;
+}
+
+}  // namespace
+
+Status ValidateSpecialCondition(const Hypergraph& h,
+                                const GeneralizedHypertreeDecomposition& ghd,
+                                int root) {
+  if (ghd.num_nodes() == 0) return Status::InvalidArgument("empty decomposition");
+  if (root < 0 || root >= ghd.num_nodes()) {
+    return Status::InvalidArgument("root out of range");
+  }
+  Status status = Status::Ok();
+  const std::vector<VertexSet> subtree = SubtreeBagUnions(ghd, root, &status);
+  if (!status.ok()) return status;
+  for (int p = 0; p < ghd.num_nodes(); ++p) {
+    VertexSet lambda_vars(h.num_vertices());
+    for (int e : ghd.guards[p]) lambda_vars |= h.edge(e);
+    VertexSet violating = lambda_vars;
+    violating &= subtree[p];
+    violating -= ghd.bags[p];
+    if (!violating.Empty()) {
+      return Status::InvalidArgument(
+          "special condition violated at node " + std::to_string(p) +
+          ": guard variables " + violating.ToString() +
+          " reappear below without being in χ");
+    }
+  }
+  return Status::Ok();
+}
+
+Status ValidateHypertreeDecomposition(
+    const Hypergraph& h, const GeneralizedHypertreeDecomposition& ghd,
+    int root) {
+  Status basic = ghd.Validate(h);
+  if (!basic.ok()) return basic;
+  return ValidateSpecialCondition(h, ghd, root);
+}
+
+}  // namespace ghd

@@ -1,0 +1,30 @@
+// Hypertree decompositions proper: a GHD satisfying the descendant ("special")
+// condition — for every node p, var(λ(p)) ∩ χ(T_p) ⊆ χ(p), where T_p is the
+// subtree rooted at p. Dropping this condition is exactly what turns hw into
+// ghw; keeping it is what makes hw polynomially recognizable. The validator
+// here certifies that det-k-decomp's normal-form output really is a hypertree
+// decomposition, not merely a GHD.
+#ifndef GHD_HTD_HYPERTREE_DECOMPOSITION_H_
+#define GHD_HTD_HYPERTREE_DECOMPOSITION_H_
+
+#include "core/ghd.h"
+#include "hypergraph/hypergraph.h"
+#include "util/status.h"
+
+namespace ghd {
+
+/// Checks the special condition of hypertree decompositions on `ghd`, rooted
+/// at node `root`: var(λ(p)) ∩ χ(T_p) ⊆ χ(p) for every node p. The basic GHD
+/// conditions must already hold (call ghd.Validate first).
+Status ValidateSpecialCondition(const Hypergraph& h,
+                                const GeneralizedHypertreeDecomposition& ghd,
+                                int root = 0);
+
+/// Full hypertree-decomposition check: GHD conditions + special condition.
+Status ValidateHypertreeDecomposition(
+    const Hypergraph& h, const GeneralizedHypertreeDecomposition& ghd,
+    int root = 0);
+
+}  // namespace ghd
+
+#endif  // GHD_HTD_HYPERTREE_DECOMPOSITION_H_

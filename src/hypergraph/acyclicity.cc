@@ -1,0 +1,56 @@
+#include "hypergraph/acyclicity.h"
+
+#include <vector>
+
+namespace ghd {
+
+std::vector<VertexSet> GyoResidual(const Hypergraph& h) {
+  const int n = h.num_vertices();
+  std::vector<VertexSet> edges = h.edges();
+  std::vector<char> alive(edges.size(), 1);
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Count edge memberships per vertex.
+    std::vector<int> degree(n, 0);
+    for (size_t e = 0; e < edges.size(); ++e) {
+      if (!alive[e]) continue;
+      edges[e].ForEach([&](int v) { ++degree[v]; });
+    }
+    // Rule 1: drop vertices contained in at most one edge.
+    for (size_t e = 0; e < edges.size(); ++e) {
+      if (!alive[e]) continue;
+      VertexSet reduced = edges[e];
+      reduced.ForEach([&](int v) {
+        if (degree[v] <= 1) {
+          reduced.Reset(v);
+          changed = true;
+        }
+      });
+      edges[e] = reduced;
+      if (edges[e].Empty()) alive[e] = 0;
+    }
+    // Rule 2: drop edges contained in another live edge.
+    for (size_t e = 0; e < edges.size(); ++e) {
+      if (!alive[e]) continue;
+      for (size_t f = 0; f < edges.size(); ++f) {
+        if (e == f || !alive[f]) continue;
+        if (edges[e].IsSubsetOf(edges[f])) {
+          alive[e] = 0;
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+  std::vector<VertexSet> residual;
+  for (size_t e = 0; e < edges.size(); ++e) {
+    if (alive[e]) residual.push_back(edges[e]);
+  }
+  return residual;
+}
+
+bool IsAlphaAcyclic(const Hypergraph& h) { return GyoResidual(h).empty(); }
+
+}  // namespace ghd

@@ -1,0 +1,24 @@
+// Alpha-acyclicity via GYO reduction (Graham / Yu-Ozsoyoglu): repeatedly
+// remove "ear" vertices (contained in at most one edge) and edges contained
+// in other edges; the hypergraph is alpha-acyclic iff everything vanishes.
+// Alpha-acyclic instances are exactly those with ghw = hw = 1 — the class
+// whose CSPs Yannakakis' algorithm solves directly.
+#ifndef GHD_HYPERGRAPH_ACYCLICITY_H_
+#define GHD_HYPERGRAPH_ACYCLICITY_H_
+
+#include "hypergraph/hypergraph.h"
+
+namespace ghd {
+
+/// True iff h is alpha-acyclic (GYO reduction empties it).
+bool IsAlphaAcyclic(const Hypergraph& h);
+
+/// Remainder of the GYO reduction: the edges (as vertex sets, original ids
+/// lost to containment-merging) that could not be eliminated. Empty iff
+/// alpha-acyclic. Exposed for diagnostics ("which part of the instance is
+/// cyclic?").
+std::vector<VertexSet> GyoResidual(const Hypergraph& h);
+
+}  // namespace ghd
+
+#endif  // GHD_HYPERGRAPH_ACYCLICITY_H_

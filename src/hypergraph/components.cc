@@ -1,0 +1,54 @@
+#include "hypergraph/components.h"
+
+#include <string>
+
+namespace ghd {
+
+std::vector<std::vector<int>> ConnectedEdgeComponents(const Hypergraph& h) {
+  const int m = h.num_edges();
+  std::vector<int> component_of(m, -1);
+  std::vector<std::vector<int>> components;
+  std::vector<int> stack;
+  for (int start = 0; start < m; ++start) {
+    if (component_of[start] >= 0) continue;
+    const int id = static_cast<int>(components.size());
+    components.emplace_back();
+    component_of[start] = id;
+    stack.assign(1, start);
+    while (!stack.empty()) {
+      const int e = stack.back();
+      stack.pop_back();
+      components[id].push_back(e);
+      h.edge(e).ForEach([&](int v) {
+        for (int f : h.EdgesContaining(v)) {
+          if (component_of[f] < 0) {
+            component_of[f] = id;
+            stack.push_back(f);
+          }
+        }
+      });
+    }
+  }
+  return components;
+}
+
+std::vector<Hypergraph> SplitIntoComponents(const Hypergraph& h) {
+  std::vector<std::string> vertex_names;
+  vertex_names.reserve(h.num_vertices());
+  for (int v = 0; v < h.num_vertices(); ++v) {
+    vertex_names.push_back(h.vertex_name(v));
+  }
+  std::vector<Hypergraph> parts;
+  for (const std::vector<int>& group : ConnectedEdgeComponents(h)) {
+    std::vector<std::string> edge_names;
+    std::vector<VertexSet> edges;
+    for (int e : group) {
+      edge_names.push_back(h.edge_name(e));
+      edges.push_back(h.edge(e));
+    }
+    parts.emplace_back(vertex_names, std::move(edge_names), std::move(edges));
+  }
+  return parts;
+}
+
+}  // namespace ghd

@@ -1,0 +1,24 @@
+// Connected components of hypergraphs (two edges connected when they share a
+// vertex). Width measures take the maximum over components, so solvers and
+// reports can treat components independently.
+#ifndef GHD_HYPERGRAPH_COMPONENTS_H_
+#define GHD_HYPERGRAPH_COMPONENTS_H_
+
+#include <vector>
+
+#include "hypergraph/hypergraph.h"
+
+namespace ghd {
+
+/// Edge-id groups of the connected components (vertex-sharing transitive
+/// closure). Singleton-free: every group is nonempty; edges appear exactly
+/// once; group count == 1 iff the hypergraph is connected (or empty).
+std::vector<std::vector<int>> ConnectedEdgeComponents(const Hypergraph& h);
+
+/// Splits h into one sub-hypergraph per component. Each part keeps the full
+/// vertex universe (ids remain comparable) but only its component's edges.
+std::vector<Hypergraph> SplitIntoComponents(const Hypergraph& h);
+
+}  // namespace ghd
+
+#endif  // GHD_HYPERGRAPH_COMPONENTS_H_

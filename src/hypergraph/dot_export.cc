@@ -1,0 +1,74 @@
+#include "hypergraph/dot_export.h"
+
+namespace ghd {
+namespace {
+
+std::string BagLabel(const Hypergraph& h, const VertexSet& bag) {
+  std::string label = "{";
+  bool first = true;
+  bag.ForEach([&](int v) {
+    if (!first) label += ",";
+    label += h.vertex_name(v);
+    first = false;
+  });
+  label += "}";
+  return label;
+}
+
+}  // namespace
+
+std::string HypergraphToDot(const Hypergraph& h) {
+  std::string out = "graph hypergraph {\n";
+  for (int v = 0; v < h.num_vertices(); ++v) {
+    out += "  v" + std::to_string(v) + " [label=\"" + h.vertex_name(v) +
+           "\"];\n";
+  }
+  const Graph primal = h.PrimalGraph();
+  for (int u = 0; u < primal.num_vertices(); ++u) {
+    primal.Neighbors(u).ForEach([&](int v) {
+      if (v > u) {
+        out += "  v" + std::to_string(u) + " -- v" + std::to_string(v) + ";\n";
+      }
+    });
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string TreeDecompositionToDot(const Hypergraph& h,
+                                   const TreeDecomposition& td) {
+  std::string out = "graph tree_decomposition {\n  node [shape=box];\n";
+  for (int p = 0; p < td.num_nodes(); ++p) {
+    out += "  n" + std::to_string(p) + " [label=\"" + BagLabel(h, td.bags[p]) +
+           "\"];\n";
+  }
+  for (const auto& [a, b] : td.tree_edges) {
+    out += "  n" + std::to_string(a) + " -- n" + std::to_string(b) + ";\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string GhdToDot(const Hypergraph& h,
+                     const GeneralizedHypertreeDecomposition& ghd) {
+  std::string out = "graph ghd {\n  node [shape=box];\n";
+  for (int p = 0; p < ghd.num_nodes(); ++p) {
+    std::string lambda = "{";
+    bool first = true;
+    for (int e : ghd.guards[p]) {
+      if (!first) lambda += ",";
+      lambda += h.edge_name(e);
+      first = false;
+    }
+    lambda += "}";
+    out += "  n" + std::to_string(p) + " [label=\"chi=" +
+           BagLabel(h, ghd.bags[p]) + "\\nlambda=" + lambda + "\"];\n";
+  }
+  for (const auto& [a, b] : ghd.tree_edges) {
+    out += "  n" + std::to_string(a) + " -- n" + std::to_string(b) + ";\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace ghd

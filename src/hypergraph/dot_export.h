@@ -1,0 +1,27 @@
+// Graphviz DOT export for hypergraphs and decompositions, for inspecting
+// instances and solver output visually.
+#ifndef GHD_HYPERGRAPH_DOT_EXPORT_H_
+#define GHD_HYPERGRAPH_DOT_EXPORT_H_
+
+#include <string>
+
+#include "core/ghd.h"
+#include "hypergraph/hypergraph.h"
+#include "td/tree_decomposition.h"
+
+namespace ghd {
+
+/// Primal-graph view of the hypergraph as an undirected DOT graph.
+std::string HypergraphToDot(const Hypergraph& h);
+
+/// Tree decomposition as a DOT tree; each node lists its bag.
+std::string TreeDecompositionToDot(const Hypergraph& h,
+                                   const TreeDecomposition& td);
+
+/// GHD as a DOT tree; each node lists chi and lambda.
+std::string GhdToDot(const Hypergraph& h,
+                     const GeneralizedHypertreeDecomposition& ghd);
+
+}  // namespace ghd
+
+#endif  // GHD_HYPERGRAPH_DOT_EXPORT_H_

@@ -1,0 +1,26 @@
+// Parser and writer for the HyperBench / detkdecomp ".hg" hypergraph format:
+//   edge_name(v1, v2, v3),
+//   other_edge(v2, v4).
+// Comments start with '%'. The final edge may end with '.' or ','.
+#ifndef GHD_HYPERGRAPH_HG_IO_H_
+#define GHD_HYPERGRAPH_HG_IO_H_
+
+#include <string>
+
+#include "hypergraph/hypergraph.h"
+#include "util/status.h"
+
+namespace ghd {
+
+/// Parses .hg content into a Hypergraph.
+Result<Hypergraph> ParseHg(const std::string& content);
+
+/// Reads and parses an .hg file from disk.
+Result<Hypergraph> LoadHg(const std::string& path);
+
+/// Renders a hypergraph in .hg syntax (round-trips through ParseHg).
+std::string WriteHg(const Hypergraph& h);
+
+}  // namespace ghd
+
+#endif  // GHD_HYPERGRAPH_HG_IO_H_

@@ -1,0 +1,92 @@
+#include "hypergraph/hypergraph.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace ghd {
+
+Hypergraph::Hypergraph(std::vector<std::string> vertex_names,
+                       std::vector<std::string> edge_names,
+                       std::vector<VertexSet> edges)
+    : vertex_names_(std::move(vertex_names)),
+      edge_names_(std::move(edge_names)),
+      edges_(std::move(edges)) {
+  GHD_CHECK(edge_names_.size() == edges_.size());
+  const int n = num_vertices();
+  for (const VertexSet& e : edges_) GHD_CHECK(e.universe_size() == n);
+  vertex_ids_.reserve(vertex_names_.size());
+  for (int v = 0; v < n; ++v) vertex_ids_[vertex_names_[v]] = v;
+  incidence_.assign(n, {});
+  for (int e = 0; e < num_edges(); ++e) {
+    edges_[e].ForEach([&](int v) { incidence_[v].push_back(e); });
+  }
+}
+
+int Hypergraph::VertexIdOf(const std::string& name) const {
+  auto it = vertex_ids_.find(name);
+  return it == vertex_ids_.end() ? -1 : it->second;
+}
+
+VertexSet Hypergraph::UnionOfEdges(const std::vector<int>& edge_ids) const {
+  VertexSet u(num_vertices());
+  for (int e : edge_ids) u |= edges_[e];
+  return u;
+}
+
+VertexSet Hypergraph::CoveredVertices() const {
+  VertexSet u(num_vertices());
+  for (const VertexSet& e : edges_) u |= e;
+  return u;
+}
+
+Graph Hypergraph::PrimalGraph() const {
+  Graph g(num_vertices());
+  for (const VertexSet& e : edges_) g.MakeClique(e);
+  return g;
+}
+
+Graph Hypergraph::DualGraph() const {
+  Graph g(num_edges());
+  for (int a = 0; a < num_edges(); ++a) {
+    for (int b = a + 1; b < num_edges(); ++b) {
+      if (edges_[a].Intersects(edges_[b])) g.AddEdge(a, b);
+    }
+  }
+  return g;
+}
+
+Hypergraph Hypergraph::InducedOn(const VertexSet& keep) const {
+  std::vector<std::string> enames;
+  std::vector<VertexSet> es;
+  for (int e = 0; e < num_edges(); ++e) {
+    VertexSet cut = edges_[e];
+    cut &= keep;
+    if (!cut.Empty()) {
+      enames.push_back(edge_names_[e]);
+      es.push_back(std::move(cut));
+    }
+  }
+  return Hypergraph(vertex_names_, std::move(enames), std::move(es));
+}
+
+int Hypergraph::Rank() const {
+  int r = 0;
+  for (const VertexSet& e : edges_) r = std::max(r, e.Count());
+  return r;
+}
+
+int Hypergraph::MaxDegree() const {
+  int d = 0;
+  for (const auto& inc : incidence_) d = std::max(d, static_cast<int>(inc.size()));
+  return d;
+}
+
+bool Hypergraph::IsConnected() const {
+  VertexSet covered = CoveredVertices();
+  if (covered.Empty()) return true;
+  Graph primal = PrimalGraph();
+  return primal.ComponentsWithin(covered).size() == 1;
+}
+
+}  // namespace ghd

@@ -1,0 +1,75 @@
+// Hypergraph: the central data structure of the library. Vertices carry names
+// (CSP variables / query attributes); hyperedges are bitsets over vertices and
+// carry names (constraints / query atoms).
+#ifndef GHD_HYPERGRAPH_HYPERGRAPH_H_
+#define GHD_HYPERGRAPH_HYPERGRAPH_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/bitset.h"
+
+namespace ghd {
+
+/// Immutable-after-construction hypergraph. Build with HypergraphBuilder.
+class Hypergraph {
+ public:
+  /// Constructs from explicit parts; edge bitsets must be sized to
+  /// vertex_names.size(). Prefer HypergraphBuilder.
+  Hypergraph(std::vector<std::string> vertex_names,
+             std::vector<std::string> edge_names, std::vector<VertexSet> edges);
+
+  int num_vertices() const { return static_cast<int>(vertex_names_.size()); }
+  int num_edges() const { return static_cast<int>(edges_.size()); }
+
+  const std::string& vertex_name(int v) const { return vertex_names_[v]; }
+  const std::string& edge_name(int e) const { return edge_names_[e]; }
+  /// Vertex id for a name, or -1 when unknown.
+  int VertexIdOf(const std::string& name) const;
+
+  /// The vertex set of edge e.
+  const VertexSet& edge(int e) const { return edges_[e]; }
+  const std::vector<VertexSet>& edges() const { return edges_; }
+
+  /// Ids of the edges containing vertex v.
+  const std::vector<int>& EdgesContaining(int v) const {
+    return incidence_[v];
+  }
+
+  /// Union of the vertex sets of the edges listed in `edge_ids`.
+  VertexSet UnionOfEdges(const std::vector<int>& edge_ids) const;
+
+  /// Vertices that occur in at least one edge.
+  VertexSet CoveredVertices() const;
+
+  /// Gaifman / primal graph: vertices adjacent iff they co-occur in an edge.
+  Graph PrimalGraph() const;
+
+  /// Dual graph: one vertex per hyperedge, adjacent iff the edges intersect.
+  Graph DualGraph() const;
+
+  /// Sub-hypergraph induced by `keep`: every edge is intersected with `keep`,
+  /// empty results are dropped. Vertex ids are preserved (same universe).
+  Hypergraph InducedOn(const VertexSet& keep) const;
+
+  /// Maximum edge cardinality (rank).
+  int Rank() const;
+  /// Maximum number of edges any vertex appears in (degree).
+  int MaxDegree() const;
+
+  /// True when the primal graph restricted to covered vertices is connected.
+  bool IsConnected() const;
+
+ private:
+  std::vector<std::string> vertex_names_;
+  std::vector<std::string> edge_names_;
+  std::vector<VertexSet> edges_;
+  std::unordered_map<std::string, int> vertex_ids_;
+  std::vector<std::vector<int>> incidence_;
+};
+
+}  // namespace ghd
+
+#endif  // GHD_HYPERGRAPH_HYPERGRAPH_H_

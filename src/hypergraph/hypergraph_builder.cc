@@ -1,0 +1,56 @@
+#include "hypergraph/hypergraph_builder.h"
+
+#include "util/check.h"
+
+namespace ghd {
+
+int HypergraphBuilder::AddVertex(const std::string& name) {
+  auto [it, inserted] = ids_.try_emplace(name, num_vertices());
+  if (inserted) vertex_names_.push_back(name);
+  return it->second;
+}
+
+int HypergraphBuilder::AddEdge(const std::string& edge_name,
+                               const std::vector<std::string>& vertex_names) {
+  std::vector<int> ids;
+  ids.reserve(vertex_names.size());
+  for (const std::string& v : vertex_names) ids.push_back(AddVertex(v));
+  return AddEdgeByIds(edge_name, ids);
+}
+
+int HypergraphBuilder::AddEdgeByIds(const std::string& edge_name,
+                                    const std::vector<int>& ids) {
+  for (int v : ids) GHD_CHECK(v >= 0 && v < num_vertices());
+  edge_names_.push_back(edge_name);
+  edge_vertex_ids_.push_back(ids);
+  return num_edges() - 1;
+}
+
+Hypergraph HypergraphBuilder::Build() && {
+  const int n = num_vertices();
+  std::vector<VertexSet> edges;
+  edges.reserve(edge_vertex_ids_.size());
+  for (const auto& ids : edge_vertex_ids_) {
+    edges.push_back(VertexSet::Of(n, ids));
+  }
+  return Hypergraph(std::move(vertex_names_), std::move(edge_names_),
+                    std::move(edges));
+}
+
+Hypergraph HypergraphBuilder::FromGraph(const Graph& g) {
+  HypergraphBuilder b;
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    b.AddVertex("v" + std::to_string(v));
+  }
+  int edge_id = 0;
+  for (int u = 0; u < g.num_vertices(); ++u) {
+    g.Neighbors(u).ForEach([&](int v) {
+      if (v > u) {
+        b.AddEdgeByIds("e" + std::to_string(edge_id++), {u, v});
+      }
+    });
+  }
+  return std::move(b).Build();
+}
+
+}  // namespace ghd

@@ -1,0 +1,50 @@
+// Incremental construction of Hypergraphs from named vertices and edges.
+#ifndef GHD_HYPERGRAPH_HYPERGRAPH_BUILDER_H_
+#define GHD_HYPERGRAPH_HYPERGRAPH_BUILDER_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+#include "hypergraph/hypergraph.h"
+
+namespace ghd {
+
+/// Collects named edges over named vertices, interning vertex names, then
+/// builds an immutable Hypergraph.
+class HypergraphBuilder {
+ public:
+  HypergraphBuilder() = default;
+
+  /// Interns `name` and returns its vertex id.
+  int AddVertex(const std::string& name);
+
+  /// Adds an edge over named vertices (interned on the fly). Duplicate vertex
+  /// names within one edge are collapsed. Returns the edge id.
+  int AddEdge(const std::string& edge_name,
+              const std::vector<std::string>& vertex_names);
+
+  /// Adds an edge over existing vertex ids.
+  int AddEdgeByIds(const std::string& edge_name, const std::vector<int>& ids);
+
+  int num_vertices() const { return static_cast<int>(vertex_names_.size()); }
+  int num_edges() const { return static_cast<int>(edge_vertex_ids_.size()); }
+
+  /// Finalizes the hypergraph. The builder may not be reused afterwards.
+  Hypergraph Build() &&;
+
+  /// Wraps an ordinary graph: one 2-vertex hyperedge per graph edge, vertices
+  /// named "v<i>".
+  static Hypergraph FromGraph(const Graph& g);
+
+ private:
+  std::vector<std::string> vertex_names_;
+  std::unordered_map<std::string, int> ids_;
+  std::vector<std::string> edge_names_;
+  std::vector<std::vector<int>> edge_vertex_ids_;
+};
+
+}  // namespace ghd
+
+#endif  // GHD_HYPERGRAPH_HYPERGRAPH_BUILDER_H_

@@ -1,0 +1,52 @@
+#include "hypergraph/reduce.h"
+
+#include <string>
+#include <vector>
+
+namespace ghd {
+namespace {
+
+std::vector<char> SubsumedFlags(const Hypergraph& h) {
+  const int m = h.num_edges();
+  std::vector<char> subsumed(m, 0);
+  for (int e = 0; e < m; ++e) {
+    for (int f = 0; f < m && !subsumed[e]; ++f) {
+      if (e == f || subsumed[f]) continue;
+      if (h.edge(e).IsSubsetOf(h.edge(f))) {
+        // Duplicates: keep the lower id.
+        if (h.edge(e) == h.edge(f) && e < f) continue;
+        subsumed[e] = 1;
+      }
+    }
+  }
+  return subsumed;
+}
+
+}  // namespace
+
+Hypergraph RemoveSubsumedEdges(const Hypergraph& h) {
+  const std::vector<char> subsumed = SubsumedFlags(h);
+  std::vector<std::string> vertex_names;
+  vertex_names.reserve(h.num_vertices());
+  for (int v = 0; v < h.num_vertices(); ++v) {
+    vertex_names.push_back(h.vertex_name(v));
+  }
+  std::vector<std::string> edge_names;
+  std::vector<VertexSet> edges;
+  for (int e = 0; e < h.num_edges(); ++e) {
+    if (!subsumed[e]) {
+      edge_names.push_back(h.edge_name(e));
+      edges.push_back(h.edge(e));
+    }
+  }
+  return Hypergraph(std::move(vertex_names), std::move(edge_names),
+                    std::move(edges));
+}
+
+int CountSubsumedEdges(const Hypergraph& h) {
+  int count = 0;
+  for (char s : SubsumedFlags(h)) count += s;
+  return count;
+}
+
+}  // namespace ghd

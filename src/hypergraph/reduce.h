@@ -1,0 +1,21 @@
+// Width-preserving preprocessing: edges contained in other edges never help
+// a cover and never constrain a decomposition beyond their superset, so
+// removing them leaves ghw / hw / fhw unchanged while shrinking every solver's
+// search space. Standard first step of decomposition tools.
+#ifndef GHD_HYPERGRAPH_REDUCE_H_
+#define GHD_HYPERGRAPH_REDUCE_H_
+
+#include "hypergraph/hypergraph.h"
+
+namespace ghd {
+
+/// Returns h without edges that are subsets of another edge (among duplicate
+/// edges, the lowest id survives). Vertex universe is preserved.
+Hypergraph RemoveSubsumedEdges(const Hypergraph& h);
+
+/// Number of edges RemoveSubsumedEdges would drop.
+int CountSubsumedEdges(const Hypergraph& h);
+
+}  // namespace ghd
+
+#endif  // GHD_HYPERGRAPH_REDUCE_H_

@@ -1,0 +1,75 @@
+#include "hypergraph/stats.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace ghd {
+namespace {
+
+// Extends the intersection `acc` (over edges chosen so far) with `remaining`
+// more edges starting from index `from`, tracking the best count found.
+void MultiIntersectRec(const Hypergraph& h, const VertexSet& acc, int from,
+                       int remaining, int* best) {
+  if (remaining == 0) {
+    *best = std::max(*best, acc.Count());
+    return;
+  }
+  if (acc.Count() <= *best) return;  // Intersections only shrink.
+  for (int e = from; e <= h.num_edges() - remaining; ++e) {
+    VertexSet next = acc;
+    next &= h.edge(e);
+    if (next.Count() > *best) {
+      MultiIntersectRec(h, next, e + 1, remaining - 1, best);
+    }
+  }
+}
+
+}  // namespace
+
+int IntersectionWidth(const Hypergraph& h) {
+  int best = 0;
+  for (int a = 0; a < h.num_edges(); ++a) {
+    for (int b = a + 1; b < h.num_edges(); ++b) {
+      best = std::max(best, h.edge(a).IntersectCount(h.edge(b)));
+    }
+  }
+  return best;
+}
+
+int MultiIntersectionWidth(const Hypergraph& h, int c) {
+  GHD_CHECK(c >= 1);
+  if (h.num_edges() < c) return 0;
+  if (c == 1) return h.Rank();
+  int best = 0;
+  for (int e = 0; e <= h.num_edges() - c; ++e) {
+    MultiIntersectRec(h, h.edge(e), e + 1, c - 1, &best);
+  }
+  return best;
+}
+
+HypergraphStats ComputeStats(const Hypergraph& h) {
+  HypergraphStats s;
+  s.num_vertices = h.num_vertices();
+  s.num_edges = h.num_edges();
+  s.rank = h.Rank();
+  s.degree = h.MaxDegree();
+  s.intersection_width = IntersectionWidth(h);
+  s.triple_intersection_width = MultiIntersectionWidth(h, 3);
+  s.connected = h.IsConnected();
+  return s;
+}
+
+std::string StatsToString(const HypergraphStats& s) {
+  std::string out;
+  out += "n=" + std::to_string(s.num_vertices);
+  out += " m=" + std::to_string(s.num_edges);
+  out += " rank=" + std::to_string(s.rank);
+  out += " degree=" + std::to_string(s.degree);
+  out += " iwidth=" + std::to_string(s.intersection_width);
+  out += " iwidth3=" + std::to_string(s.triple_intersection_width);
+  out += s.connected ? " connected" : " disconnected";
+  return out;
+}
+
+}  // namespace ghd

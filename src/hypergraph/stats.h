@@ -1,0 +1,41 @@
+// Structural statistics of hypergraphs, including the quantities that define
+// the paper's tractable classes: intersection width (BIP), multi-intersection
+// width (BMIP), degree, rank.
+#ifndef GHD_HYPERGRAPH_STATS_H_
+#define GHD_HYPERGRAPH_STATS_H_
+
+#include <string>
+
+#include "hypergraph/hypergraph.h"
+
+namespace ghd {
+
+/// Maximum |e ∩ f| over distinct edges e, f. A class of hypergraphs has the
+/// bounded intersection property (BIP) when this is bounded by a constant.
+int IntersectionWidth(const Hypergraph& h);
+
+/// Maximum |e1 ∩ ... ∩ ec| over c pairwise-distinct edges. c = 2 is
+/// IntersectionWidth. A class has the bounded multi-intersection property
+/// (BMIP) when this is bounded for some constant c.
+int MultiIntersectionWidth(const Hypergraph& h, int c);
+
+/// Bundle of the structural measures reported by instance tables.
+struct HypergraphStats {
+  int num_vertices = 0;
+  int num_edges = 0;
+  int rank = 0;                // max edge size
+  int degree = 0;              // max #edges per vertex
+  int intersection_width = 0;  // BIP parameter i (c = 2)
+  int triple_intersection_width = 0;  // c = 3
+  bool connected = false;
+};
+
+/// Computes all measures in one pass.
+HypergraphStats ComputeStats(const Hypergraph& h);
+
+/// One-line human-readable rendering of the stats.
+std::string StatsToString(const HypergraphStats& s);
+
+}  // namespace ghd
+
+#endif  // GHD_HYPERGRAPH_STATS_H_

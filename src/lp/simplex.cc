@@ -1,0 +1,85 @@
+#include "lp/simplex.h"
+
+#include "util/check.h"
+
+namespace ghd {
+
+LpResult SolvePackingLp(const PackingLp& lp) {
+  const int m = static_cast<int>(lp.a.size());
+  const int n = static_cast<int>(lp.c.size());
+  GHD_CHECK(static_cast<int>(lp.b.size()) == m);
+  for (const auto& row : lp.a) GHD_CHECK(static_cast<int>(row.size()) == n);
+  for (const Rational& bi : lp.b) GHD_CHECK(!bi.IsNegative());
+
+  // Tableau over n structural + m slack columns; slack basis is feasible.
+  const int cols = n + m;
+  std::vector<std::vector<Rational>> t(m, std::vector<Rational>(cols));
+  std::vector<Rational> rhs = lp.b;
+  std::vector<int> basis(m);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) t[i][j] = lp.a[i][j];
+    t[i][n + i] = Rational(1);
+    basis[i] = n + i;
+  }
+  // Reduced-cost row: z_j - c_j, starting from the slack basis (z = 0).
+  std::vector<Rational> reduced(cols);
+  for (int j = 0; j < n; ++j) reduced[j] = -lp.c[j];
+  Rational objective(0);
+
+  LpResult result;
+  while (true) {
+    // Bland's rule: entering column = lowest index with negative reduced cost.
+    int enter = -1;
+    for (int j = 0; j < cols; ++j) {
+      if (reduced[j].IsNegative()) {
+        enter = j;
+        break;
+      }
+    }
+    if (enter < 0) break;  // optimal
+    // Ratio test; Bland tiebreak on the smallest basis variable index.
+    int leave = -1;
+    Rational best_ratio;
+    for (int i = 0; i < m; ++i) {
+      if (!t[i][enter].IsPositive()) continue;
+      const Rational ratio = rhs[i] / t[i][enter];
+      if (leave < 0 || ratio < best_ratio ||
+          (ratio == best_ratio && basis[i] < basis[leave])) {
+        best_ratio = ratio;
+        leave = i;
+      }
+    }
+    if (leave < 0) {
+      result.bounded = false;
+      return result;
+    }
+    // Pivot on (leave, enter).
+    const Rational pivot = t[leave][enter];
+    for (int j = 0; j < cols; ++j) t[leave][j] = t[leave][j] / pivot;
+    rhs[leave] = rhs[leave] / pivot;
+    for (int i = 0; i < m; ++i) {
+      if (i == leave || t[i][enter].IsZero()) continue;
+      const Rational factor = t[i][enter];
+      for (int j = 0; j < cols; ++j) {
+        t[i][j] = t[i][j] - factor * t[leave][j];
+      }
+      rhs[i] = rhs[i] - factor * rhs[leave];
+    }
+    const Rational rfactor = reduced[enter];
+    for (int j = 0; j < cols; ++j) {
+      reduced[j] = reduced[j] - rfactor * t[leave][j];
+    }
+    objective = objective - rfactor * rhs[leave];
+    basis[leave] = enter;
+    ++result.pivots;
+  }
+
+  result.objective = objective;
+  result.solution.assign(n, Rational(0));
+  for (int i = 0; i < m; ++i) {
+    if (basis[i] < n) result.solution[basis[i]] = rhs[i];
+  }
+  return result;
+}
+
+}  // namespace ghd

@@ -1,0 +1,39 @@
+// Exact rational primal simplex for small linear programs in the packing
+// form  max c^T x  s.t.  A x <= b,  x >= 0  with b >= 0 (so the slack basis
+// is feasible and no phase-1 is needed). Bland's rule prevents cycling.
+//
+// This is the substrate of fractional edge covers: the fractional cover
+// number of a vertex set equals, by LP duality, the optimum of the packing
+// LP over the hyperedges — which is exactly this form.
+#ifndef GHD_LP_SIMPLEX_H_
+#define GHD_LP_SIMPLEX_H_
+
+#include <vector>
+
+#include "util/rational.h"
+
+namespace ghd {
+
+/// A packing LP: max c^T x subject to A x <= b, x >= 0, with b >= 0.
+struct PackingLp {
+  /// Row-major constraint matrix; all rows have c.size() entries.
+  std::vector<std::vector<Rational>> a;
+  std::vector<Rational> b;
+  std::vector<Rational> c;
+};
+
+/// Simplex outcome. Packing LPs with b >= 0 are always feasible (x = 0);
+/// `bounded` is false when the objective is unbounded above.
+struct LpResult {
+  bool bounded = true;
+  Rational objective;
+  std::vector<Rational> solution;
+  int pivots = 0;
+};
+
+/// Solves the LP exactly. CHECK-fails on malformed input (b < 0, ragged A).
+LpResult SolvePackingLp(const PackingLp& lp);
+
+}  // namespace ghd
+
+#endif  // GHD_LP_SIMPLEX_H_

@@ -1,0 +1,96 @@
+#include "search/local_search.h"
+
+#include <algorithm>
+
+#include "td/bucket_elimination.h"
+#include "td/ordering_heuristics.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace ghd {
+namespace {
+
+// Applies an insertion move: removes the element at `from` and reinserts it
+// at `to`.
+void InsertMove(std::vector<int>* ordering, int from, int to) {
+  const int v = (*ordering)[from];
+  ordering->erase(ordering->begin() + from);
+  ordering->insert(ordering->begin() + to, v);
+}
+
+}  // namespace
+
+LocalSearchResult ImproveOrdering(int num_vertices, const Graph& primal,
+                                  OrderingWidthFn width_fn,
+                                  const LocalSearchOptions& options) {
+  GHD_CHECK(num_vertices >= 0);
+  LocalSearchResult best;
+  if (num_vertices == 0) return best;
+  Rng rng(options.seed);
+
+  std::vector<int> incumbent = MinFillOrdering(primal, &rng);
+  best.ordering = incumbent;
+  best.width = width_fn(incumbent, -1);
+  ++best.evaluations;
+
+  for (int restart = 0; restart < std::max(1, options.restarts); ++restart) {
+    std::vector<int> current = best.ordering;
+    if (restart > 0) {
+      // Perturb the incumbent with a handful of random insertions.
+      for (int p = 0; p < 1 + num_vertices / 8; ++p) {
+        InsertMove(&current, rng.UniformInt(num_vertices),
+                   rng.UniformInt(num_vertices));
+      }
+    }
+    int current_width = width_fn(current, -1);
+    ++best.evaluations;
+    for (int move = 0; move < options.max_moves; ++move) {
+      std::vector<int> candidate = current;
+      // Mostly insertions; occasionally adjacent swaps for fine-grained
+      // changes.
+      if (rng.Bernoulli(0.8) || num_vertices < 3) {
+        InsertMove(&candidate, rng.UniformInt(num_vertices),
+                   rng.UniformInt(num_vertices));
+      } else {
+        const int i = rng.UniformInt(num_vertices - 1);
+        std::swap(candidate[i], candidate[i + 1]);
+      }
+      // Early-exit evaluation: abort once the candidate reaches the width
+      // we'd reject anyway (strictly worse than current).
+      const int width = width_fn(candidate, current_width + 1);
+      ++best.evaluations;
+      if (width <= current_width) {  // accept improving and sideways moves
+        current = std::move(candidate);
+        current_width = width;
+        if (current_width < best.width) {
+          best.width = current_width;
+          best.ordering = current;
+        }
+      }
+    }
+  }
+  return best;
+}
+
+LocalSearchResult TreewidthLocalSearch(const Graph& g,
+                                       const LocalSearchOptions& options) {
+  return ImproveOrdering(
+      g.num_vertices(), g,
+      [&g](const std::vector<int>& ordering, int stop_at) {
+        return EliminationWidth(g, ordering, stop_at);
+      },
+      options);
+}
+
+LocalSearchResult GhwLocalSearch(const Hypergraph& h, CoverMode mode,
+                                 const LocalSearchOptions& options) {
+  const Graph primal = h.PrimalGraph();
+  return ImproveOrdering(
+      h.num_vertices(), primal,
+      [&h, mode](const std::vector<int>& ordering, int stop_at) {
+        return GhwWidthFromOrdering(h, ordering, mode, stop_at);
+      },
+      options);
+}
+
+}  // namespace ghd

@@ -1,0 +1,56 @@
+// Stochastic local search over elimination orderings: randomized
+// insertion/swap moves with sideways acceptance and restarts. A generic
+// upper-bound improver that works for any width measure evaluated on an
+// ordering (treewidth, GHW with greedy or exact covers), typically closing
+// the gap left by one-shot greedy orderings.
+#ifndef GHD_SEARCH_LOCAL_SEARCH_H_
+#define GHD_SEARCH_LOCAL_SEARCH_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/ghw_upper.h"
+#include "graph/graph.h"
+#include "hypergraph/hypergraph.h"
+
+namespace ghd {
+
+/// Knobs for the ordering local search.
+struct LocalSearchOptions {
+  /// Moves attempted per restart.
+  int max_moves = 1500;
+  /// Independent restarts (first starts from min-fill, later ones from
+  /// perturbed incumbents).
+  int restarts = 3;
+  uint64_t seed = 1;
+};
+
+/// Best ordering found and its width.
+struct LocalSearchResult {
+  int width = 0;
+  std::vector<int> ordering;
+  long evaluations = 0;
+};
+
+/// Width of `ordering` as judged by the caller; `stop_at` allows early abort
+/// once the width provably reaches that value (callers pass the incumbent).
+using OrderingWidthFn =
+    std::function<int(const std::vector<int>& ordering, int stop_at)>;
+
+/// Generic engine: improves orderings of {0..n-1} under `width_fn`.
+LocalSearchResult ImproveOrdering(int num_vertices, const Graph& primal,
+                                  OrderingWidthFn width_fn,
+                                  const LocalSearchOptions& options = {});
+
+/// Treewidth upper bound via local search on g's orderings.
+LocalSearchResult TreewidthLocalSearch(const Graph& g,
+                                       const LocalSearchOptions& options = {});
+
+/// GHW upper bound via local search (bags covered per `mode`).
+LocalSearchResult GhwLocalSearch(const Hypergraph& h, CoverMode mode,
+                                 const LocalSearchOptions& options = {});
+
+}  // namespace ghd
+
+#endif  // GHD_SEARCH_LOCAL_SEARCH_H_

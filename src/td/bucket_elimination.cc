@@ -1,0 +1,88 @@
+#include "td/bucket_elimination.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace ghd {
+
+bool IsValidOrdering(const Graph& g, const std::vector<int>& ordering) {
+  if (static_cast<int>(ordering.size()) != g.num_vertices()) return false;
+  std::vector<char> seen(g.num_vertices(), 0);
+  for (int v : ordering) {
+    if (v < 0 || v >= g.num_vertices() || seen[v]) return false;
+    seen[v] = 1;
+  }
+  return true;
+}
+
+std::vector<VertexSet> EliminationBags(const Graph& g,
+                                       const std::vector<int>& ordering) {
+  GHD_CHECK(IsValidOrdering(g, ordering));
+  Graph work = g;
+  std::vector<VertexSet> bags;
+  bags.reserve(ordering.size());
+  for (int v : ordering) {
+    VertexSet bag = work.Neighbors(v);
+    bag.Set(v);
+    bags.push_back(bag);
+    work.EliminateVertex(v);
+  }
+  return bags;
+}
+
+int EliminationWidth(const Graph& g, const std::vector<int>& ordering,
+                     int stop_at_width) {
+  GHD_CHECK(IsValidOrdering(g, ordering));
+  Graph work = g;
+  int width = -1;
+  for (int v : ordering) {
+    width = std::max(width, work.Degree(v));
+    if (stop_at_width >= 0 && width >= stop_at_width) return width;
+    work.EliminateVertex(v);
+  }
+  return width;
+}
+
+TreeDecomposition TdFromOrdering(const Graph& g,
+                                 const std::vector<int>& ordering) {
+  GHD_CHECK(IsValidOrdering(g, ordering));
+  const int n = g.num_vertices();
+  Graph work = g;
+  TreeDecomposition td;
+  td.bags.reserve(n);
+  // position_of[v] = index of v in the ordering = index of v's bag.
+  std::vector<int> position_of(n);
+  for (int i = 0; i < n; ++i) position_of[ordering[i]] = i;
+
+  // Eliminate and connect each bag to the bucket of the next-eliminated
+  // neighbor (the classic bucket-elimination tree).
+  std::vector<int> parent(n, -1);
+  for (int i = 0; i < n; ++i) {
+    const int v = ordering[i];
+    VertexSet nbrs = work.Neighbors(v);
+    VertexSet bag = nbrs;
+    bag.Set(v);
+    td.bags.push_back(bag);
+    int next = -1;
+    nbrs.ForEach([&](int u) {
+      if (next == -1 || position_of[u] < position_of[next]) next = u;
+    });
+    if (next != -1) parent[i] = position_of[next];
+    work.EliminateVertex(v);
+  }
+  // Link roots (bags with no parent) into a chain so the result is one tree;
+  // root bags share no vertices with later roots, so connectedness holds.
+  int previous_root = -1;
+  for (int i = 0; i < n; ++i) {
+    if (parent[i] >= 0) {
+      td.tree_edges.emplace_back(i, parent[i]);
+    } else {
+      if (previous_root >= 0) td.tree_edges.emplace_back(previous_root, i);
+      previous_root = i;
+    }
+  }
+  return td;
+}
+
+}  // namespace ghd

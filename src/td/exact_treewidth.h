@@ -1,0 +1,41 @@
+// Exact treewidth by branch and bound over elimination orderings, with the
+// classic reductions (simplicial / strongly almost simplicial vertices) and
+// pruning rules from the QuickBB / BB-tw line of work. Anytime: on budget
+// exhaustion it reports validated lower and upper bounds.
+#ifndef GHD_TD_EXACT_TREEWIDTH_H_
+#define GHD_TD_EXACT_TREEWIDTH_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ghd {
+
+/// Budget and feature switches for the exact search.
+struct ExactTreewidthOptions {
+  /// Wall-clock limit in seconds; <= 0 means unlimited.
+  double time_limit_seconds = 0;
+  /// Search node limit; <= 0 means unlimited.
+  long node_budget = 0;
+  /// Eliminate simplicial / strongly almost simplicial vertices eagerly.
+  bool use_reductions = true;
+};
+
+/// Outcome of the search. `upper_bound` always comes with a witnessing
+/// elimination ordering; `exact` is true iff the search space was exhausted
+/// (then lower_bound == upper_bound == treewidth).
+struct ExactTreewidthResult {
+  int lower_bound = 0;
+  int upper_bound = 0;
+  bool exact = false;
+  std::vector<int> best_ordering;
+  long nodes_visited = 0;
+};
+
+/// Computes the treewidth of g (or bounds, under budget).
+ExactTreewidthResult ExactTreewidth(const Graph& g,
+                                    const ExactTreewidthOptions& options = {});
+
+}  // namespace ghd
+
+#endif  // GHD_TD_EXACT_TREEWIDTH_H_

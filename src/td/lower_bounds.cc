@@ -1,0 +1,115 @@
+#include "td/lower_bounds.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace ghd {
+namespace {
+
+// Min-degree vertex among alive vertices with degree >= 1; -1 when none.
+int MinDegreeAlive(const Graph& g, const std::vector<char>& alive) {
+  int best = -1;
+  int best_deg = g.num_vertices() + 1;
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    if (!alive[v]) continue;
+    const int d = g.Degree(v);
+    if (d >= 1 && d < best_deg) {
+      best_deg = d;
+      best = v;
+    }
+  }
+  return best;
+}
+
+// Min-degree neighbor of v.
+int MinDegreeNeighbor(const Graph& g, int v) {
+  int best = -1;
+  int best_deg = g.num_vertices() + 1;
+  g.Neighbors(v).ForEach([&](int u) {
+    const int d = g.Degree(u);
+    if (d < best_deg) {
+      best_deg = d;
+      best = u;
+    }
+  });
+  return best;
+}
+
+}  // namespace
+
+int DegeneracyLowerBound(const Graph& g) {
+  Graph work = g;
+  std::vector<char> alive(g.num_vertices(), 1);
+  int lb = 0;
+  while (true) {
+    const int v = MinDegreeAlive(work, alive);
+    if (v < 0) break;
+    lb = std::max(lb, work.Degree(v));
+    work.IsolateVertex(v);
+    alive[v] = 0;
+  }
+  return lb;
+}
+
+int MinorMinWidthLowerBound(const Graph& g) {
+  Graph work = g;
+  std::vector<char> alive(g.num_vertices(), 1);
+  int lb = 0;
+  while (true) {
+    const int v = MinDegreeAlive(work, alive);
+    if (v < 0) break;
+    lb = std::max(lb, work.Degree(v));
+    const int u = MinDegreeNeighbor(work, v);
+    // Contract {v, u} into u: the result is a minor, whose treewidth does not
+    // exceed the original's.
+    work.ContractEdge(u, v);
+    alive[v] = 0;
+  }
+  return lb;
+}
+
+int GammaRLowerBound(const Graph& g) {
+  Graph work = g;
+  std::vector<char> alive(g.num_vertices(), 1);
+  int lb = 0;
+  while (true) {
+    // Drop isolated vertices; gamma concerns the connected remainder.
+    std::vector<int> active;
+    for (int v = 0; v < work.num_vertices(); ++v) {
+      if (alive[v] && work.Degree(v) >= 1) active.push_back(v);
+    }
+    if (active.empty()) break;
+    std::stable_sort(active.begin(), active.end(), [&](int a, int b) {
+      return work.Degree(a) < work.Degree(b);
+    });
+    // First vertex in ascending-degree order missing an edge to some
+    // predecessor; its degree is gamma_R of the current minor.
+    int chosen = -1;
+    for (size_t i = 1; i < active.size() && chosen < 0; ++i) {
+      for (size_t j = 0; j < i; ++j) {
+        if (!work.HasEdge(active[i], active[j])) {
+          chosen = active[i];
+          break;
+        }
+      }
+    }
+    if (chosen < 0) {
+      // The active vertices form a clique: treewidth >= |clique| - 1.
+      lb = std::max(lb, static_cast<int>(active.size()) - 1);
+      break;
+    }
+    lb = std::max(lb, work.Degree(chosen));
+    const int u = MinDegreeNeighbor(work, chosen);
+    work.ContractEdge(u, chosen);
+    alive[chosen] = 0;
+  }
+  return lb;
+}
+
+int TreewidthLowerBound(const Graph& g) {
+  const int mmw = MinorMinWidthLowerBound(g);
+  const int gr = GammaRLowerBound(g);
+  return std::max(mmw, gr);
+}
+
+}  // namespace ghd

@@ -1,0 +1,124 @@
+#include "td/pace_io.h"
+
+#include <optional>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace ghd {
+
+Result<Graph> ParsePaceGraph(const std::string& content) {
+  std::optional<Graph> graph;
+  std::istringstream in(content);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view s = TrimWhitespace(line);
+    if (s.empty() || s[0] == 'c') continue;
+    auto err = [&](const std::string& what) {
+      return Status::ParseError("line " + std::to_string(line_no) + ": " + what);
+    };
+    std::vector<std::string> tok = SplitTrimmed(s, ' ');
+    if (tok[0] == "p") {
+      if (graph.has_value()) return err("duplicate problem line");
+      if (tok.size() != 4 || tok[1] != "tw") return err("expected 'p tw n m'");
+      const int n = ParseNonNegativeInt(tok[2]);
+      if (n < 0) return err("bad vertex count");
+      graph.emplace(n);
+    } else {
+      if (!graph.has_value()) return err("edge before problem line");
+      if (tok.size() != 2) return err("expected '<u> <v>'");
+      const int u = ParseNonNegativeInt(tok[0]);
+      const int v = ParseNonNegativeInt(tok[1]);
+      if (u < 1 || v < 1 || u > graph->num_vertices() ||
+          v > graph->num_vertices()) {
+        return err("vertex id out of range");
+      }
+      graph->AddEdge(u - 1, v - 1);
+    }
+  }
+  if (!graph.has_value()) return Status::ParseError("missing problem line");
+  return *std::move(graph);
+}
+
+std::string WritePaceGraph(const Graph& g) {
+  std::string out = "p tw " + std::to_string(g.num_vertices()) + " " +
+                    std::to_string(g.NumEdges()) + "\n";
+  for (int u = 0; u < g.num_vertices(); ++u) {
+    g.Neighbors(u).ForEach([&](int v) {
+      if (v > u) {
+        out += std::to_string(u + 1) + " " + std::to_string(v + 1) + "\n";
+      }
+    });
+  }
+  return out;
+}
+
+std::string WritePaceTreeDecomposition(const TreeDecomposition& td,
+                                       int num_vertices) {
+  std::string out = "s td " + std::to_string(td.num_nodes()) + " " +
+                    std::to_string(td.Width() + 1) + " " +
+                    std::to_string(num_vertices) + "\n";
+  for (int b = 0; b < td.num_nodes(); ++b) {
+    out += "b " + std::to_string(b + 1);
+    td.bags[b].ForEach([&](int v) { out += " " + std::to_string(v + 1); });
+    out += "\n";
+  }
+  for (const auto& [a, b] : td.tree_edges) {
+    out += std::to_string(a + 1) + " " + std::to_string(b + 1) + "\n";
+  }
+  return out;
+}
+
+Result<TreeDecomposition> ParsePaceTreeDecomposition(
+    const std::string& content) {
+  std::istringstream in(content);
+  std::string line;
+  int line_no = 0;
+  int declared_bags = -1;
+  int num_vertices = -1;
+  TreeDecomposition td;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view s = TrimWhitespace(line);
+    if (s.empty() || s[0] == 'c') continue;
+    auto err = [&](const std::string& what) {
+      return Status::ParseError("line " + std::to_string(line_no) + ": " + what);
+    };
+    std::vector<std::string> tok = SplitTrimmed(s, ' ');
+    if (tok[0] == "s") {
+      if (declared_bags >= 0) return err("duplicate solution line");
+      if (tok.size() != 5 || tok[1] != "td") {
+        return err("expected 's td bags width+1 n'");
+      }
+      declared_bags = ParseNonNegativeInt(tok[2]);
+      num_vertices = ParseNonNegativeInt(tok[4]);
+      if (declared_bags < 0 || num_vertices < 0) return err("bad counts");
+      td.bags.assign(declared_bags, VertexSet(num_vertices));
+    } else if (tok[0] == "b") {
+      if (declared_bags < 0) return err("bag before solution line");
+      if (tok.size() < 2) return err("bag line without index");
+      const int index = ParseNonNegativeInt(tok[1]);
+      if (index < 1 || index > declared_bags) return err("bag index range");
+      for (size_t i = 2; i < tok.size(); ++i) {
+        const int v = ParseNonNegativeInt(tok[i]);
+        if (v < 1 || v > num_vertices) return err("bag vertex range");
+        td.bags[index - 1].Set(v - 1);
+      }
+    } else {
+      if (declared_bags < 0) return err("edge before solution line");
+      if (tok.size() != 2) return err("expected tree edge '<a> <b>'");
+      const int a = ParseNonNegativeInt(tok[0]);
+      const int b = ParseNonNegativeInt(tok[1]);
+      if (a < 1 || b < 1 || a > declared_bags || b > declared_bags) {
+        return err("tree edge range");
+      }
+      td.tree_edges.emplace_back(a - 1, b - 1);
+    }
+  }
+  if (declared_bags < 0) return Status::ParseError("missing solution line");
+  return td;
+}
+
+}  // namespace ghd

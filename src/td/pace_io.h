@@ -1,0 +1,33 @@
+// PACE challenge formats: .gr graphs (input of the treewidth tracks) and
+// .td tree decompositions (their output). Lets this library interoperate
+// with PACE solvers and validators.
+#ifndef GHD_TD_PACE_IO_H_
+#define GHD_TD_PACE_IO_H_
+
+#include <string>
+
+#include "graph/graph.h"
+#include "td/tree_decomposition.h"
+#include "util/status.h"
+
+namespace ghd {
+
+/// Parses PACE .gr content: "c" comments, "p tw <n> <m>", then "<u> <v>"
+/// edge lines with 1-based ids.
+Result<Graph> ParsePaceGraph(const std::string& content);
+
+/// Renders a graph in .gr syntax.
+std::string WritePaceGraph(const Graph& g);
+
+/// Renders a tree decomposition in .td syntax:
+/// "s td <#bags> <width+1> <n>", "b <i> <v...>" lines, then tree edges.
+std::string WritePaceTreeDecomposition(const TreeDecomposition& td,
+                                       int num_vertices);
+
+/// Parses .td content back into a TreeDecomposition.
+Result<TreeDecomposition> ParsePaceTreeDecomposition(
+    const std::string& content);
+
+}  // namespace ghd
+
+#endif  // GHD_TD_PACE_IO_H_

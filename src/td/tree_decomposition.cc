@@ -1,0 +1,114 @@
+#include "td/tree_decomposition.h"
+
+#include <algorithm>
+
+namespace ghd {
+namespace internal {
+
+Status ValidateTreeAndConnectedness(
+    const std::vector<VertexSet>& bags,
+    const std::vector<std::pair<int, int>>& edges, int num_vertices) {
+  const int t = static_cast<int>(bags.size());
+  if (t == 0) return Status::InvalidArgument("decomposition has no nodes");
+  if (static_cast<int>(edges.size()) != t - 1) {
+    return Status::InvalidArgument("tree must have exactly #nodes-1 edges");
+  }
+  // Build adjacency and check connectivity (t-1 edges + connected => tree).
+  std::vector<std::vector<int>> adj(t);
+  for (const auto& [a, b] : edges) {
+    if (a < 0 || a >= t || b < 0 || b >= t || a == b) {
+      return Status::InvalidArgument("tree edge endpoint out of range");
+    }
+    adj[a].push_back(b);
+    adj[b].push_back(a);
+  }
+  std::vector<char> seen(t, 0);
+  std::vector<int> stack = {0};
+  seen[0] = 1;
+  int reached = 1;
+  while (!stack.empty()) {
+    int p = stack.back();
+    stack.pop_back();
+    for (int q : adj[p]) {
+      if (!seen[q]) {
+        seen[q] = 1;
+        ++reached;
+        stack.push_back(q);
+      }
+    }
+  }
+  if (reached != t) return Status::InvalidArgument("tree is not connected");
+
+  // Connectedness condition: for each vertex, bags containing it induce a
+  // connected subtree. Count nodes and induced edges: a forest restricted to
+  // the occurrence set is connected iff edges == nodes - 1.
+  for (int v = 0; v < num_vertices; ++v) {
+    int nodes = 0;
+    for (const VertexSet& bag : bags) {
+      if (bag.Test(v)) ++nodes;
+    }
+    if (nodes == 0) continue;
+    int induced = 0;
+    for (const auto& [a, b] : edges) {
+      if (bags[a].Test(v) && bags[b].Test(v)) ++induced;
+    }
+    if (induced != nodes - 1) {
+      return Status::InvalidArgument("connectedness violated for vertex " +
+                                     std::to_string(v));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace internal
+
+int TreeDecomposition::Width() const {
+  int w = -1;
+  for (const VertexSet& bag : bags) w = std::max(w, bag.Count() - 1);
+  return w;
+}
+
+Status TreeDecomposition::ValidateForGraph(const Graph& g) const {
+  Status s = internal::ValidateTreeAndConnectedness(bags, tree_edges,
+                                                    g.num_vertices());
+  if (!s.ok()) return s;
+  for (int u = 0; u < g.num_vertices(); ++u) {
+    bool fail = false;
+    int bad = -1;
+    g.Neighbors(u).ForEach([&](int v) {
+      if (v < u || fail) return;
+      for (const VertexSet& bag : bags) {
+        if (bag.Test(u) && bag.Test(v)) return;
+      }
+      fail = true;
+      bad = v;
+    });
+    if (fail) {
+      return Status::InvalidArgument("edge {" + std::to_string(u) + "," +
+                                     std::to_string(bad) + "} not in any bag");
+    }
+  }
+  return Status::Ok();
+}
+
+Status TreeDecomposition::ValidateForHypergraph(const Hypergraph& h) const {
+  Status s = internal::ValidateTreeAndConnectedness(bags, tree_edges,
+                                                    h.num_vertices());
+  if (!s.ok()) return s;
+  for (int e = 0; e < h.num_edges(); ++e) {
+    bool inside = false;
+    for (const VertexSet& bag : bags) {
+      if (h.edge(e).IsSubsetOf(bag)) {
+        inside = true;
+        break;
+      }
+    }
+    if (!inside) {
+      return Status::InvalidArgument("hyperedge " + h.edge_name(e) +
+                                     " not inside any bag");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace ghd

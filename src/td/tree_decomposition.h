@@ -1,0 +1,45 @@
+// Tree decompositions (Robertson-Seymour) of graphs and hypergraphs, with a
+// full validator used by tests and by every decomposition-producing algorithm.
+#ifndef GHD_TD_TREE_DECOMPOSITION_H_
+#define GHD_TD_TREE_DECOMPOSITION_H_
+
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "hypergraph/hypergraph.h"
+#include "util/bitset.h"
+#include "util/status.h"
+
+namespace ghd {
+
+/// A tree decomposition: bags χ(p) plus tree edges over bag indices.
+struct TreeDecomposition {
+  std::vector<VertexSet> bags;
+  std::vector<std::pair<int, int>> tree_edges;
+
+  int num_nodes() const { return static_cast<int>(bags.size()); }
+
+  /// Width = max bag size - 1 (width of the empty decomposition is -1).
+  int Width() const;
+
+  /// Checks the tree-decomposition conditions against a graph:
+  ///  (T) tree_edges form a tree over the bags,
+  ///  (1) every graph edge is inside some bag,
+  ///  (2) for every vertex, the bags containing it induce a subtree.
+  Status ValidateForGraph(const Graph& g) const;
+
+  /// Same, with condition (1) over hyperedges: each hyperedge inside a bag.
+  Status ValidateForHypergraph(const Hypergraph& h) const;
+};
+
+namespace internal {
+/// Shared by TD and GHD validators: tree-ness plus per-vertex connectedness.
+Status ValidateTreeAndConnectedness(const std::vector<VertexSet>& bags,
+                                    const std::vector<std::pair<int, int>>& edges,
+                                    int num_vertices);
+}  // namespace internal
+
+}  // namespace ghd
+
+#endif  // GHD_TD_TREE_DECOMPOSITION_H_

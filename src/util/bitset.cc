@@ -1,0 +1,137 @@
+#include "util/bitset.h"
+
+#include <bit>
+
+namespace ghd {
+
+VertexSet VertexSet::Of(int universe_size, const std::vector<int>& elements) {
+  VertexSet s(universe_size);
+  for (int e : elements) s.Set(e);
+  return s;
+}
+
+VertexSet VertexSet::Full(int universe_size) {
+  VertexSet s(universe_size);
+  for (int i = 0; i < universe_size; ++i) s.Set(i);
+  return s;
+}
+
+int VertexSet::Count() const {
+  int c = 0;
+  for (uint64_t w : words_) c += std::popcount(w);
+  return c;
+}
+
+bool VertexSet::Empty() const {
+  for (uint64_t w : words_) {
+    if (w != 0) return false;
+  }
+  return true;
+}
+
+int VertexSet::First() const {
+  for (size_t w = 0; w < words_.size(); ++w) {
+    if (words_[w] != 0) {
+      return static_cast<int>(w * 64) + __builtin_ctzll(words_[w]);
+    }
+  }
+  return -1;
+}
+
+int VertexSet::Next(int i) const {
+  ++i;
+  if (i >= size_) return -1;
+  size_t w = static_cast<size_t>(i) >> 6;
+  uint64_t bits = words_[w] >> (i & 63);
+  if (bits != 0) return i + __builtin_ctzll(bits);
+  for (++w; w < words_.size(); ++w) {
+    if (words_[w] != 0) {
+      return static_cast<int>(w * 64) + __builtin_ctzll(words_[w]);
+    }
+  }
+  return -1;
+}
+
+std::vector<int> VertexSet::ToVector() const {
+  std::vector<int> out;
+  out.reserve(Count());
+  ForEach([&](int i) { out.push_back(i); });
+  return out;
+}
+
+VertexSet& VertexSet::operator|=(const VertexSet& o) {
+  GHD_DCHECK(size_ == o.size_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= o.words_[i];
+  return *this;
+}
+
+VertexSet& VertexSet::operator&=(const VertexSet& o) {
+  GHD_DCHECK(size_ == o.size_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= o.words_[i];
+  return *this;
+}
+
+VertexSet& VertexSet::operator-=(const VertexSet& o) {
+  GHD_DCHECK(size_ == o.size_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~o.words_[i];
+  return *this;
+}
+
+bool VertexSet::operator<(const VertexSet& o) const {
+  if (size_ != o.size_) return size_ < o.size_;
+  for (size_t i = words_.size(); i-- > 0;) {
+    if (words_[i] != o.words_[i]) return words_[i] < o.words_[i];
+  }
+  return false;
+}
+
+bool VertexSet::Intersects(const VertexSet& o) const {
+  GHD_DCHECK(size_ == o.size_);
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & o.words_[i]) != 0) return true;
+  }
+  return false;
+}
+
+bool VertexSet::IsSubsetOf(const VertexSet& o) const {
+  GHD_DCHECK(size_ == o.size_);
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & ~o.words_[i]) != 0) return false;
+  }
+  return true;
+}
+
+int VertexSet::IntersectCount(const VertexSet& o) const {
+  GHD_DCHECK(size_ == o.size_);
+  int c = 0;
+  for (size_t i = 0; i < words_.size(); ++i) {
+    c += std::popcount(words_[i] & o.words_[i]);
+  }
+  return c;
+}
+
+uint64_t VertexSet::Hash() const {
+  // FNV-1a over the words plus the universe size.
+  uint64_t h = 14695981039346656037ull;
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(static_cast<uint64_t>(size_));
+  for (uint64_t w : words_) mix(w);
+  return h;
+}
+
+std::string VertexSet::ToString() const {
+  std::string out = "{";
+  bool first = true;
+  ForEach([&](int i) {
+    if (!first) out += ", ";
+    out += std::to_string(i);
+    first = false;
+  });
+  out += "}";
+  return out;
+}
+
+}  // namespace ghd

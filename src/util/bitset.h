@@ -1,0 +1,119 @@
+// VertexSet: a dynamic bitset sized at construction. It is the workhorse set
+// representation for vertices and edge ids across all decomposition solvers —
+// intersection-heavy algorithms (set cover, component splitting, elimination)
+// run on whole 64-bit words.
+#ifndef GHD_UTIL_BITSET_H_
+#define GHD_UTIL_BITSET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace ghd {
+
+/// Fixed-universe dynamic bitset. All binary operations require both operands
+/// to have the same universe size.
+class VertexSet {
+ public:
+  /// Empty set over an empty universe.
+  VertexSet() = default;
+  /// Empty set over a universe of `universe_size` elements {0, ..., n-1}.
+  explicit VertexSet(int universe_size)
+      : size_(universe_size), words_((universe_size + 63) / 64, 0) {
+    GHD_CHECK(universe_size >= 0);
+  }
+
+  /// Builds a set over `universe_size` containing exactly `elements`.
+  static VertexSet Of(int universe_size, const std::vector<int>& elements);
+  /// Full set {0, ..., universe_size-1}.
+  static VertexSet Full(int universe_size);
+
+  int universe_size() const { return size_; }
+
+  bool Test(int i) const {
+    GHD_DCHECK(i >= 0 && i < size_);
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+  void Set(int i) {
+    GHD_DCHECK(i >= 0 && i < size_);
+    words_[i >> 6] |= uint64_t{1} << (i & 63);
+  }
+  void Reset(int i) {
+    GHD_DCHECK(i >= 0 && i < size_);
+    words_[i >> 6] &= ~(uint64_t{1} << (i & 63));
+  }
+  void Clear() {
+    for (auto& w : words_) w = 0;
+  }
+
+  /// Number of elements in the set.
+  int Count() const;
+  bool Empty() const;
+  bool Any() const { return !Empty(); }
+
+  /// Index of the lowest element, or -1 when empty.
+  int First() const;
+  /// Index of the lowest element > i, or -1 when none.
+  int Next(int i) const;
+
+  /// Element list in increasing order.
+  std::vector<int> ToVector() const;
+
+  VertexSet& operator|=(const VertexSet& o);
+  VertexSet& operator&=(const VertexSet& o);
+  /// Set difference: removes all elements of `o`.
+  VertexSet& operator-=(const VertexSet& o);
+
+  friend VertexSet operator|(VertexSet a, const VertexSet& b) { return a |= b; }
+  friend VertexSet operator&(VertexSet a, const VertexSet& b) { return a &= b; }
+  friend VertexSet operator-(VertexSet a, const VertexSet& b) { return a -= b; }
+
+  bool operator==(const VertexSet& o) const {
+    return size_ == o.size_ && words_ == o.words_;
+  }
+  bool operator!=(const VertexSet& o) const { return !(*this == o); }
+  /// Lexicographic order on words; usable as a map key.
+  bool operator<(const VertexSet& o) const;
+
+  bool Intersects(const VertexSet& o) const;
+  bool IsSubsetOf(const VertexSet& o) const;
+  /// |*this & o| without materializing the intersection.
+  int IntersectCount(const VertexSet& o) const;
+
+  /// 64-bit hash usable for unordered containers.
+  uint64_t Hash() const;
+
+  /// Renders "{a, b, c}" for debugging.
+  std::string ToString() const;
+
+  /// Calls fn(i) for each element i in increasing order.
+  template <typename Fn>
+  void ForEach(Fn fn) const {
+    for (size_t w = 0; w < words_.size(); ++w) {
+      uint64_t bits = words_[w];
+      while (bits != 0) {
+        int i = static_cast<int>(w * 64) + __builtin_ctzll(bits);
+        fn(i);
+        bits &= bits - 1;
+      }
+    }
+  }
+
+ private:
+  int size_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+/// std::unordered_map-compatible hasher.
+struct VertexSetHash {
+  size_t operator()(const VertexSet& s) const {
+    return static_cast<size_t>(s.Hash());
+  }
+};
+
+}  // namespace ghd
+
+#endif  // GHD_UTIL_BITSET_H_

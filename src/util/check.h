@@ -1,0 +1,36 @@
+// Internal invariant checking. GHD_CHECK fires in all build types; it guards
+// algorithmic invariants whose violation would make solver answers unsound.
+#ifndef GHD_UTIL_CHECK_H_
+#define GHD_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ghd {
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "GHD_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace ghd
+
+/// Aborts the process when `cond` is false. Used for internal invariants that
+/// must hold regardless of input (violations are library bugs, not user errors).
+#define GHD_CHECK(cond)                                            \
+  do {                                                             \
+    if (!(cond)) ::ghd::internal::CheckFailed(#cond, __FILE__, __LINE__); \
+  } while (0)
+
+/// Debug-only variant of GHD_CHECK.
+#ifdef NDEBUG
+#define GHD_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#else
+#define GHD_DCHECK(cond) GHD_CHECK(cond)
+#endif
+
+#endif  // GHD_UTIL_CHECK_H_

@@ -1,0 +1,68 @@
+#include "util/rational.h"
+
+#include <numeric>
+
+namespace ghd {
+namespace {
+
+int64_t CheckedNarrow(__int128 v) {
+  GHD_CHECK(v <= INT64_MAX && v >= INT64_MIN);
+  return static_cast<int64_t>(v);
+}
+
+}  // namespace
+
+Rational::Rational(int64_t num, int64_t den) {
+  GHD_CHECK(den != 0);
+  if (den < 0) {
+    num = -num;
+    den = -den;
+  }
+  const int64_t g = std::gcd(num < 0 ? -num : num, den);
+  num_ = g == 0 ? 0 : num / g;
+  den_ = g == 0 ? 1 : den / g;
+}
+
+Rational Rational::operator+(const Rational& o) const {
+  const __int128 num = static_cast<__int128>(num_) * o.den_ +
+                       static_cast<__int128>(o.num_) * den_;
+  const __int128 den = static_cast<__int128>(den_) * o.den_;
+  // Reduce in 128 bits before narrowing so mid-sized operands stay legal.
+  __int128 a = num < 0 ? -num : num;
+  __int128 b = den;
+  while (b != 0) {
+    const __int128 t = a % b;
+    a = b;
+    b = t;
+  }
+  if (a == 0) return Rational(0);
+  return Rational(CheckedNarrow(num / a), CheckedNarrow(den / a));
+}
+
+Rational Rational::operator-(const Rational& o) const { return *this + (-o); }
+
+Rational Rational::operator*(const Rational& o) const {
+  // Cross-reduce first to keep intermediates small.
+  const Rational a(num_, o.den_ == 0 ? 1 : o.den_);
+  const Rational b(o.num_, den_);
+  const __int128 num = static_cast<__int128>(a.num_) * b.num_;
+  const __int128 den = static_cast<__int128>(a.den_) * b.den_;
+  return Rational(CheckedNarrow(num), CheckedNarrow(den));
+}
+
+Rational Rational::operator/(const Rational& o) const {
+  GHD_CHECK(!o.IsZero());
+  return *this * Rational(o.den_, o.num_);
+}
+
+bool Rational::operator<(const Rational& o) const {
+  return static_cast<__int128>(num_) * o.den_ <
+         static_cast<__int128>(o.num_) * den_;
+}
+
+std::string Rational::ToString() const {
+  if (den_ == 1) return std::to_string(num_);
+  return std::to_string(num_) + "/" + std::to_string(den_);
+}
+
+}  // namespace ghd

@@ -1,0 +1,59 @@
+// Exact rational arithmetic for the LP substrate (fractional edge covers).
+// Numerator/denominator in 64 bits with checked 128-bit intermediates;
+// widths of laptop-scale instances stay far below the overflow guard.
+#ifndef GHD_UTIL_RATIONAL_H_
+#define GHD_UTIL_RATIONAL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/check.h"
+
+namespace ghd {
+
+/// Normalized rational number (gcd-reduced, positive denominator).
+class Rational {
+ public:
+  Rational() : num_(0), den_(1) {}
+  Rational(int64_t value) : num_(value), den_(1) {}  // NOLINT
+  /// `den` must be nonzero; the sign moves to the numerator.
+  Rational(int64_t num, int64_t den);
+
+  int64_t num() const { return num_; }
+  int64_t den() const { return den_; }
+
+  bool IsZero() const { return num_ == 0; }
+  bool IsNegative() const { return num_ < 0; }
+  bool IsPositive() const { return num_ > 0; }
+
+  Rational operator-() const { return Rational(-num_, den_); }
+  Rational operator+(const Rational& o) const;
+  Rational operator-(const Rational& o) const;
+  Rational operator*(const Rational& o) const;
+  /// Division by zero is a programming bug.
+  Rational operator/(const Rational& o) const;
+
+  bool operator==(const Rational& o) const {
+    return num_ == o.num_ && den_ == o.den_;
+  }
+  bool operator!=(const Rational& o) const { return !(*this == o); }
+  bool operator<(const Rational& o) const;
+  bool operator<=(const Rational& o) const { return !(o < *this); }
+  bool operator>(const Rational& o) const { return o < *this; }
+  bool operator>=(const Rational& o) const { return !(*this < o); }
+
+  double ToDouble() const {
+    return static_cast<double>(num_) / static_cast<double>(den_);
+  }
+
+  /// "3/2" or "2" when integral.
+  std::string ToString() const;
+
+ private:
+  int64_t num_;
+  int64_t den_;
+};
+
+}  // namespace ghd
+
+#endif  // GHD_UTIL_RATIONAL_H_

@@ -1,0 +1,57 @@
+#include "util/rng.h"
+
+#include "util/check.h"
+
+namespace ghd {
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+int Rng::UniformInt(int bound) {
+  GHD_CHECK(bound > 0);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t ub = static_cast<uint64_t>(bound);
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % ub;
+  uint64_t v;
+  do {
+    v = Next();
+  } while (v >= limit);
+  return static_cast<int>(v % ub);
+}
+
+int Rng::UniformRange(int lo, int hi) {
+  GHD_CHECK(lo <= hi);
+  return lo + UniformInt(hi - lo + 1);
+}
+
+double Rng::UniformDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+}  // namespace ghd

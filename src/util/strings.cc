@@ -1,0 +1,52 @@
+#include "util/strings.h"
+
+#include <cctype>
+
+namespace ghd {
+
+std::string_view TrimWhitespace(std::string_view s) {
+  size_t b = 0;
+  while (b < s.size() && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  size_t e = s.size();
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string> Split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> SplitTrimmed(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  for (const std::string& field : Split(s, sep)) {
+    std::string_view t = TrimWhitespace(field);
+    if (!t.empty()) out.emplace_back(t);
+  }
+  return out;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+int ParseNonNegativeInt(std::string_view s) {
+  s = TrimWhitespace(s);
+  if (s.empty()) return -1;
+  long value = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return -1;
+    value = value * 10 + (c - '0');
+    if (value > 1'000'000'000L) return -1;
+  }
+  return static_cast<int>(value);
+}
+
+}  // namespace ghd

@@ -1,0 +1,28 @@
+// Small string helpers used by parsers and report writers.
+#ifndef GHD_UTIL_STRINGS_H_
+#define GHD_UTIL_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ghd {
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view TrimWhitespace(std::string_view s);
+
+/// Splits on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Splits on `sep`, trimming each field and dropping empties.
+std::vector<std::string> SplitTrimmed(std::string_view s, char sep);
+
+/// True when `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Parses a non-negative integer; returns -1 on malformed input.
+int ParseNonNegativeInt(std::string_view s);
+
+}  // namespace ghd
+
+#endif  // GHD_UTIL_STRINGS_H_

@@ -1,0 +1,41 @@
+// Text table rendering for benchmark harnesses: every bench binary prints the
+// rows/series of its experiment in an aligned table (and optionally CSV).
+#ifndef GHD_UTIL_TABLE_H_
+#define GHD_UTIL_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ghd {
+
+/// Column-aligned text table with a header row.
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; the number of cells must equal the number of headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience cell formatters.
+  static std::string Cell(int v) { return std::to_string(v); }
+  static std::string Cell(double v, int precision = 3);
+  static std::string Cell(const std::string& v) { return v; }
+
+  /// Writes the table with aligned columns.
+  void Print(std::ostream& os) const;
+
+  /// Writes the table as CSV.
+  void PrintCsv(std::ostream& os) const;
+
+  int num_rows() const { return static_cast<int>(rows_.size()); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ghd
+
+#endif  // GHD_UTIL_TABLE_H_

@@ -1,0 +1,47 @@
+// Wall-clock timing and cooperative deadlines for anytime solvers.
+#ifndef GHD_UTIL_TIMER_H_
+#define GHD_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace ghd {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Deadline for branch-and-bound style solvers: the solver polls Expired()
+/// periodically and returns its best-so-far answer when time runs out.
+class Deadline {
+ public:
+  /// No limit.
+  Deadline() = default;
+  /// Limit of `seconds` from now; non-positive means no limit.
+  explicit Deadline(double seconds) : limit_seconds_(seconds) {}
+
+  bool Expired() const {
+    return limit_seconds_ > 0 && timer_.ElapsedSeconds() >= limit_seconds_;
+  }
+
+ private:
+  WallTimer timer_;
+  double limit_seconds_ = 0;
+};
+
+}  // namespace ghd
+
+#endif  // GHD_UTIL_TIMER_H_

@@ -1,0 +1,135 @@
+#include <string>
+
+#include "core/bip.h"
+#include "core/ghw_exact.h"
+#include "gen/circuits.h"
+#include "gen/generators.h"
+#include "gen/random_hypergraphs.h"
+#include "gtest/gtest.h"
+#include "htd/det_k_decomp.h"
+#include "hypergraph/acyclicity.h"
+#include "hypergraph/dot_export.h"
+#include "hypergraph/hypergraph_builder.h"
+
+namespace ghd {
+namespace {
+
+TEST(AcyclicityTest, AcyclicFamilies) {
+  EXPECT_TRUE(IsAlphaAcyclic(StarHypergraph(5, 3)));
+  EXPECT_TRUE(IsAlphaAcyclic(WindowPathHypergraph(12, 4, 1)));
+  EXPECT_TRUE(IsAlphaAcyclic(WindowPathHypergraph(12, 3, 3)));
+}
+
+TEST(AcyclicityTest, CyclicFamilies) {
+  EXPECT_FALSE(IsAlphaAcyclic(CycleHypergraph(3)));
+  EXPECT_FALSE(IsAlphaAcyclic(CycleHypergraph(6)));
+  EXPECT_FALSE(IsAlphaAcyclic(Grid2dHypergraph(2, 2)));
+  EXPECT_FALSE(IsAlphaAcyclic(AdderHypergraph(1)));
+  EXPECT_FALSE(IsAlphaAcyclic(CliqueHypergraph(4)));
+}
+
+TEST(AcyclicityTest, SubsumedEdgesAreHarmless) {
+  // A big edge plus sub-edges inside it: still acyclic.
+  HypergraphBuilder b;
+  b.AddEdge("big", {"a", "b", "c", "d"});
+  b.AddEdge("s1", {"a", "b"});
+  b.AddEdge("s2", {"c", "d"});
+  EXPECT_TRUE(IsAlphaAcyclic(std::move(b).Build()));
+}
+
+TEST(AcyclicityTest, DuplicateEdges) {
+  HypergraphBuilder b;
+  b.AddEdge("e1", {"a", "b"});
+  b.AddEdge("e2", {"a", "b"});
+  EXPECT_TRUE(IsAlphaAcyclic(std::move(b).Build()));
+}
+
+TEST(AcyclicityTest, GyoResidualLocalizesTheCycle) {
+  // A triangle with an acyclic tail: the residual is exactly the triangle.
+  HypergraphBuilder b;
+  b.AddEdge("t1", {"a", "b"});
+  b.AddEdge("t2", {"b", "c"});
+  b.AddEdge("t3", {"c", "a"});
+  b.AddEdge("tail1", {"a", "z1"});
+  b.AddEdge("tail2", {"z1", "z2"});
+  Hypergraph h = std::move(b).Build();
+  std::vector<VertexSet> residual = GyoResidual(h);
+  EXPECT_EQ(residual.size(), 3u);
+}
+
+TEST(AcyclicityTest, EmptyHypergraphIsAcyclic) {
+  Hypergraph h({}, {}, {});
+  EXPECT_TRUE(IsAlphaAcyclic(h));
+}
+
+// The classical equivalence realized by two of our engines:
+// alpha-acyclic <=> ghw = 1 <=> hw = 1.
+TEST(AcyclicityTest, EquivalentToWidthOne) {
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    Hypergraph h = RandomUniformHypergraph(9, 6, 3, seed);
+    const bool acyclic = IsAlphaAcyclic(h);
+    ExactGhwResult ghw = ExactGhw(h);
+    ASSERT_TRUE(ghw.exact) << seed;
+    EXPECT_EQ(acyclic, ghw.upper_bound <= 1) << seed;
+    KDeciderResult hw1 = HypertreeWidthAtMost(h, 1);
+    ASSERT_TRUE(hw1.decided) << seed;
+    EXPECT_EQ(acyclic, hw1.exists) << seed;
+  }
+}
+
+TEST(ClosureGhwTest, MatchesOrderingExactEngine) {
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    Hypergraph h = RandomUniformHypergraph(9, 7, 3, seed + 100);
+    ExactGhwResult ordering_engine = ExactGhw(h);
+    ASSERT_TRUE(ordering_engine.exact) << seed;
+    ClosureGhwResult closure_engine = GhwViaFullClosure(h);
+    ASSERT_TRUE(closure_engine.exact) << seed;
+    EXPECT_EQ(closure_engine.width, ordering_engine.upper_bound) << seed;
+    EXPECT_TRUE(closure_engine.decomposition.Validate(h).ok()) << seed;
+  }
+}
+
+TEST(ClosureGhwTest, StructuredFamilies) {
+  EXPECT_EQ(GhwViaFullClosure(CycleHypergraph(7)).width, 2);
+  EXPECT_EQ(GhwViaFullClosure(StarHypergraph(4, 3)).width, 1);
+  EXPECT_EQ(GhwViaFullClosure(CliqueHypergraph(6)).width, 3);
+  EXPECT_EQ(GhwViaFullClosure(AdderHypergraph(2)).width, 2);
+}
+
+TEST(ClosureGhwTest, RefusesHugeRank) {
+  std::vector<std::string> names;
+  for (int i = 0; i < 30; ++i) names.push_back("v" + std::to_string(i));
+  HypergraphBuilder b;
+  b.AddEdge("big", names);
+  b.AddEdge("also", {"v0", "v1"});
+  ClosureGhwResult r = GhwViaFullClosure(std::move(b).Build());
+  EXPECT_FALSE(r.exact);
+}
+
+TEST(DotExportTest, HypergraphDot) {
+  Hypergraph h = CycleHypergraph(3);
+  const std::string dot = HypergraphToDot(h);
+  EXPECT_NE(dot.find("graph hypergraph"), std::string::npos);
+  EXPECT_NE(dot.find("v0 -- v1"), std::string::npos);
+}
+
+TEST(DotExportTest, GhdDotShowsChiAndLambda) {
+  Hypergraph h = CycleHypergraph(4);
+  ExactGhwResult r = ExactGhw(h);
+  const std::string dot = GhdToDot(h, r.best_ghd);
+  EXPECT_NE(dot.find("chi="), std::string::npos);
+  EXPECT_NE(dot.find("lambda="), std::string::npos);
+  EXPECT_NE(dot.find("graph ghd"), std::string::npos);
+}
+
+TEST(DotExportTest, TreeDecompositionDot) {
+  Hypergraph h = Grid2dHypergraph(2, 2);
+  TreeDecomposition td;
+  td.bags = {h.CoveredVertices()};
+  const std::string dot = TreeDecompositionToDot(h, td);
+  EXPECT_NE(dot.find("graph tree_decomposition"), std::string::npos);
+  EXPECT_NE(dot.find("n0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ghd

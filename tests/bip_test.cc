@@ -1,0 +1,162 @@
+#include <algorithm>
+
+#include "core/bip.h"
+#include "core/ghw_exact.h"
+#include "gen/circuits.h"
+#include "gen/generators.h"
+#include "gen/random_hypergraphs.h"
+#include "gtest/gtest.h"
+#include "hypergraph/hypergraph_builder.h"
+#include "hypergraph/stats.h"
+
+namespace ghd {
+namespace {
+
+TEST(SubedgeClosureTest, ContainsOriginalEdges) {
+  Hypergraph h = AdderHypergraph(2);
+  GuardFamily f = BipSubedgeClosure(h);
+  ASSERT_GE(f.size(), h.num_edges());
+  for (int e = 0; e < h.num_edges(); ++e) {
+    EXPECT_EQ(f.guards[e], h.edge(e));
+  }
+  EXPECT_TRUE(f.HasParents());
+}
+
+TEST(SubedgeClosureTest, GuardsAreSubedgesOfParents) {
+  Hypergraph h = RandomUniformHypergraph(12, 8, 4, 3);
+  GuardFamily f = BipSubedgeClosure(h);
+  for (int g = 0; g < f.size(); ++g) {
+    EXPECT_TRUE(f.guards[g].IsSubsetOf(h.edge(f.parent_edge[g])));
+    EXPECT_FALSE(f.guards[g].Empty());
+  }
+}
+
+TEST(SubedgeClosureTest, NoDuplicateGuards) {
+  Hypergraph h = RandomUniformHypergraph(10, 8, 3, 9);
+  GuardFamily f = BipSubedgeClosure(h);
+  for (int a = 0; a < f.size(); ++a) {
+    for (int b = a + 1; b < f.size(); ++b) {
+      EXPECT_NE(f.guards[a], f.guards[b]) << a << " vs " << b;
+    }
+  }
+}
+
+TEST(SubedgeClosureTest, DisjointEdgesAddNothing) {
+  HypergraphBuilder b;
+  b.AddEdge("e1", {"a", "b"});
+  b.AddEdge("e2", {"c", "d"});
+  Hypergraph h = std::move(b).Build();
+  GuardFamily f = BipSubedgeClosure(h);
+  EXPECT_EQ(f.size(), 2);  // no nonempty proper intersections
+}
+
+TEST(SubedgeClosureTest, HigherArityAddsMoreGuards) {
+  Hypergraph h = RandomUniformHypergraph(14, 10, 4, 5);
+  SubedgeClosureOptions a1, a2;
+  a1.max_union_arity = 1;
+  a2.max_union_arity = 2;
+  EXPECT_LE(BipSubedgeClosure(h, a1).size(), BipSubedgeClosure(h, a2).size());
+}
+
+TEST(SubedgeClosureTest, RespectsCap) {
+  Hypergraph h = RandomUniformHypergraph(20, 15, 4, 2);
+  SubedgeClosureOptions options;
+  options.max_guards = 20;
+  EXPECT_LE(BipSubedgeClosure(h, options).size(), 20);
+}
+
+TEST(SubedgeClosureTest, BipBoundsGuardSizes) {
+  // Under BIP(i) with union arity j, added guards have <= j*i vertices.
+  const int i = 1, j = 2;
+  Hypergraph h = RandomBoundedIntersectionHypergraph(20, 10, 3, i, 7);
+  ASSERT_LE(IntersectionWidth(h), i);
+  SubedgeClosureOptions options;
+  options.max_union_arity = j;
+  GuardFamily f = BipSubedgeClosure(h, options);
+  for (int g = h.num_edges(); g < f.size(); ++g) {
+    EXPECT_LE(f.guards[g].Count(), j * i);
+  }
+}
+
+TEST(FullSubedgeClosureTest, CountsAllSubsets) {
+  HypergraphBuilder b;
+  b.AddEdge("e1", {"a", "b", "c"});
+  b.AddEdge("e2", {"c", "d"});
+  Hypergraph h = std::move(b).Build();
+  GuardFamily f = FullSubedgeClosure(h);
+  // Subsets: 7 of e1 + 3 of e2, minus the shared {c} counted once: 9.
+  EXPECT_EQ(f.size(), 9);
+}
+
+TEST(FullSubedgeClosureTest, RefusesHugeRank) {
+  std::vector<std::string> names;
+  for (int i = 0; i < 30; ++i) names.push_back("v" + std::to_string(i));
+  HypergraphBuilder b;
+  b.AddEdge("big", names);
+  Hypergraph h = std::move(b).Build();
+  EXPECT_EQ(FullSubedgeClosure(h).size(), 0);
+}
+
+TEST(BipGhwDecideTest, SoundOnStructuredFamilies) {
+  // BIP decision is sound: a positive answer implies ghw <= k.
+  Hypergraph adder = AdderHypergraph(3);
+  KDeciderResult r = BipGhwDecide(adder, 2);
+  ASSERT_TRUE(r.decided);
+  EXPECT_TRUE(r.exists);
+  EXPECT_TRUE(r.decomposition.Validate(adder).ok());
+  EXPECT_LE(r.decomposition.Width(), 2);
+}
+
+TEST(BipGhwDecideTest, MatchesExactGhwOnBipInstances) {
+  // On bounded-intersection instances the closure decision should match the
+  // ordering-based exact GHW (completeness of the tractable variant).
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    Hypergraph h = RandomBoundedIntersectionHypergraph(12, 8, 3, 1, seed);
+    ExactGhwResult exact = ExactGhw(h);
+    ASSERT_TRUE(exact.exact) << seed;
+    SubedgeClosureOptions closure;
+    closure.max_union_arity = 3;
+    for (int k = std::max(1, exact.upper_bound - 1);
+         k <= exact.upper_bound + 1; ++k) {
+      KDeciderResult r = BipGhwDecide(h, k, closure);
+      ASSERT_TRUE(r.decided) << seed << " k=" << k;
+      EXPECT_EQ(r.exists, k >= exact.upper_bound)
+          << "seed=" << seed << " k=" << k << " ghw=" << exact.upper_bound;
+    }
+  }
+}
+
+TEST(BipGhwDecideTest, NeverClaimsBelowGhw) {
+  // Soundness on arbitrary (non-BIP) instances: exists => ghw <= k.
+  for (uint64_t seed = 50; seed < 58; ++seed) {
+    Hypergraph h = RandomUniformHypergraph(10, 7, 4, seed);
+    ExactGhwResult exact = ExactGhw(h);
+    ASSERT_TRUE(exact.exact);
+    if (exact.upper_bound >= 2) {
+      KDeciderResult r = BipGhwDecide(h, exact.upper_bound - 1);
+      ASSERT_TRUE(r.decided);
+      EXPECT_FALSE(r.exists) << seed;
+    }
+  }
+}
+
+TEST(BoundedDegreeTest, GeneratorRespectsDegree) {
+  Hypergraph h = RandomBoundedDegreeHypergraph(30, 15, 3, 2, 3);
+  EXPECT_LE(h.MaxDegree(), 2);
+  // Degree-bounded instances have bounded multi-intersections:
+  // any 3 distinct edges meet in at most... with degree 2 they meet in 0.
+  EXPECT_EQ(MultiIntersectionWidth(h, 3), 0);
+}
+
+TEST(BoundedIntersectionTest, GeneratorRespectsBound) {
+  for (int i = 1; i <= 2; ++i) {
+    Hypergraph h = RandomBoundedIntersectionHypergraph(24, 10, 4, i, 11);
+    EXPECT_LE(IntersectionWidth(h), i) << i;
+  }
+  // i = 0 forces pairwise-disjoint edges: needs m * arity <= n.
+  Hypergraph disjoint = RandomBoundedIntersectionHypergraph(45, 10, 4, 0, 11);
+  EXPECT_EQ(IntersectionWidth(disjoint), 0);
+}
+
+}  // namespace
+}  // namespace ghd

@@ -1,0 +1,111 @@
+#include "csp/backtracking.h"
+#include "csp/bucket_solver.h"
+#include "csp/csp.h"
+#include "csp/problems.h"
+#include "gen/generators.h"
+#include "gen/random_hypergraphs.h"
+#include "gtest/gtest.h"
+
+namespace ghd {
+namespace {
+
+TEST(BucketSolverTest, SolvesEvenCycleColoring) {
+  Csp csp = MakeColoringCsp(CycleGraph(8), 2);
+  auto solution = SolveByBucketElimination(csp);
+  ASSERT_TRUE(solution.has_value());
+  EXPECT_TRUE(csp.IsSolution(*solution));
+}
+
+TEST(BucketSolverTest, DetectsOddCycleUnsat) {
+  Csp csp = MakeColoringCsp(CycleGraph(9), 2);
+  EXPECT_FALSE(SolveByBucketElimination(csp).has_value());
+}
+
+TEST(BucketSolverTest, GridColoring) {
+  Csp csp = MakeColoringCsp(GridGraph(4, 4), 3);
+  BucketSolveStats stats;
+  auto solution = SolveByBucketElimination(csp, &stats);
+  ASSERT_TRUE(solution.has_value());
+  EXPECT_TRUE(csp.IsSolution(*solution));
+  EXPECT_GT(stats.joins, 0);
+  EXPECT_GT(stats.max_relation_size, 0);
+}
+
+TEST(BucketSolverTest, AgreesWithBacktrackingOnRandomCsps) {
+  for (uint64_t seed = 0; seed < 15; ++seed) {
+    Hypergraph h = RandomUniformHypergraph(8, 6, 3, seed);
+    const double tightness = seed % 2 == 0 ? 0.3 : 0.6;
+    Csp csp = MakeRandomCsp(h, 3, tightness, seed * 13 + 5);
+    BacktrackingResult bt = SolveBacktracking(csp);
+    ASSERT_TRUE(bt.decided);
+    auto be = SolveByBucketElimination(csp);
+    EXPECT_EQ(be.has_value(), bt.solution.has_value()) << seed;
+    if (be.has_value()) {
+      EXPECT_TRUE(csp.IsSolution(*be));
+    }
+  }
+}
+
+TEST(BucketSolverTest, ExplicitOrderingIsRespected) {
+  Csp csp = MakeColoringCsp(CycleGraph(6), 2);
+  std::vector<int> ordering = {5, 4, 3, 2, 1, 0};
+  auto solution = SolveByBucketElimination(csp, ordering);
+  ASSERT_TRUE(solution.has_value());
+  EXPECT_TRUE(csp.IsSolution(*solution));
+}
+
+TEST(BucketSolverTest, EmptyConstraintIsUnsat) {
+  Csp csp;
+  csp.variable_names = {"a"};
+  csp.domain_sizes = {2};
+  csp.constraints.emplace_back(std::vector<int>{0});  // no tuples
+  EXPECT_FALSE(SolveByBucketElimination(csp).has_value());
+}
+
+TEST(BucketSolverTest, UnconstrainedVariables) {
+  Csp csp;
+  csp.variable_names = {"a", "b"};
+  csp.domain_sizes = {3, 3};
+  auto solution = SolveByBucketElimination(csp);
+  ASSERT_TRUE(solution.has_value());
+  EXPECT_TRUE(csp.IsSolution(*solution));
+}
+
+TEST(ProblemsTest, NQueensKnownSatisfiability) {
+  // n = 1 trivially SAT; n = 2, 3 UNSAT; n = 4, 5, 6 SAT.
+  EXPECT_TRUE(SolveByBucketElimination(NQueensCsp(1)).has_value());
+  EXPECT_FALSE(SolveByBucketElimination(NQueensCsp(2)).has_value());
+  EXPECT_FALSE(SolveByBucketElimination(NQueensCsp(3)).has_value());
+  for (int n = 4; n <= 6; ++n) {
+    Csp csp = NQueensCsp(n);
+    auto solution = SolveByBucketElimination(csp);
+    ASSERT_TRUE(solution.has_value()) << n;
+    EXPECT_TRUE(csp.IsSolution(*solution)) << n;
+  }
+}
+
+TEST(ProblemsTest, NQueensAgreesWithBacktracking) {
+  for (int n = 4; n <= 6; ++n) {
+    BacktrackingResult bt = SolveBacktracking(NQueensCsp(n));
+    ASSERT_TRUE(bt.decided);
+    EXPECT_TRUE(bt.solution.has_value()) << n;
+  }
+}
+
+TEST(ProblemsTest, PigeonholeSatisfiability) {
+  EXPECT_TRUE(SolveByBucketElimination(PigeonholeCsp(3, 3)).has_value());
+  EXPECT_TRUE(SolveByBucketElimination(PigeonholeCsp(3, 5)).has_value());
+  EXPECT_FALSE(SolveByBucketElimination(PigeonholeCsp(4, 3)).has_value());
+  EXPECT_FALSE(SolveByBucketElimination(PigeonholeCsp(5, 4)).has_value());
+}
+
+TEST(ProblemsTest, PigeonholeShape) {
+  Csp csp = PigeonholeCsp(4, 3);
+  EXPECT_EQ(csp.num_variables(), 4);
+  EXPECT_EQ(csp.constraints.size(), 6u);  // all pairs
+  Hypergraph h = csp.ConstraintHypergraph();
+  EXPECT_EQ(h.num_edges(), 6);
+}
+
+}  // namespace
+}  // namespace ghd

@@ -1,0 +1,196 @@
+#include <algorithm>
+#include <set>
+
+#include "core/ghw_upper.h"
+#include "csp/backtracking.h"
+#include "csp/enumerate.h"
+#include "csp/problems.h"
+#include "gen/generators.h"
+#include "gen/random_hypergraphs.h"
+#include "graph/graph.h"
+#include "gtest/gtest.h"
+#include "td/bucket_elimination.h"
+#include "td/ordering_heuristics.h"
+#include "td/pace_io.h"
+
+namespace ghd {
+namespace {
+
+GeneralizedHypertreeDecomposition Decompose(const Csp& csp) {
+  return GhwUpperBound(csp.ConstraintHypergraph(), OrderingHeuristic::kMinFill,
+                       CoverMode::kExact)
+      .ghd;
+}
+
+// Reference: all solutions by brute force over the full assignment space.
+std::vector<std::vector<int>> BruteForceAll(const Csp& csp) {
+  std::vector<std::vector<int>> out;
+  std::vector<int> assignment(csp.num_variables(), 0);
+  while (true) {
+    if (csp.IsSolution(assignment)) out.push_back(assignment);
+    int i = 0;
+    while (i < csp.num_variables()) {
+      if (++assignment[i] < csp.domain_sizes[i]) break;
+      assignment[i] = 0;
+      ++i;
+    }
+    if (i == csp.num_variables()) break;
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(EnumerateTest, EvenCycleTwoColorings) {
+  Csp csp = MakeColoringCsp(CycleGraph(6), 2);
+  auto solutions = EnumerateSolutionsViaDecomposition(csp, Decompose(csp));
+  // An even cycle has exactly 2 proper 2-colorings.
+  EXPECT_EQ(solutions.size(), 2u);
+}
+
+TEST(EnumerateTest, MatchesBruteForce) {
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    Hypergraph h = RandomUniformHypergraph(7, 5, 3, seed);
+    Csp csp = MakeRandomCsp(h, 2, 0.55, seed * 3 + 1);
+    auto fast = EnumerateSolutionsViaDecomposition(csp, Decompose(csp));
+    std::sort(fast.begin(), fast.end());
+    // The enumerator pins variables outside every constraint to 0; restrict
+    // the brute-force reference the same way.
+    const VertexSet covered = h.CoveredVertices();
+    std::vector<std::vector<int>> reference;
+    for (auto& solution : BruteForceAll(csp)) {
+      bool canonical = true;
+      for (int v = 0; v < csp.num_variables(); ++v) {
+        if (!covered.Test(v) && solution[v] != 0) canonical = false;
+      }
+      if (canonical) reference.push_back(std::move(solution));
+    }
+    EXPECT_EQ(fast, reference) << seed;
+  }
+}
+
+TEST(EnumerateTest, UnsatisfiableGivesNothing) {
+  Csp csp = MakeColoringCsp(CycleGraph(5), 2);  // odd cycle
+  EXPECT_TRUE(
+      EnumerateSolutionsViaDecomposition(csp, Decompose(csp)).empty());
+}
+
+TEST(EnumerateTest, LimitIsRespected) {
+  Csp csp = MakeColoringCsp(CycleGraph(8), 3);
+  auto limited =
+      EnumerateSolutionsViaDecomposition(csp, Decompose(csp), /*limit=*/5);
+  EXPECT_EQ(limited.size(), 5u);
+}
+
+TEST(EnumerateTest, QueensSolutionCounts) {
+  // Classic counts: 4-queens has 2 solutions, 5-queens has 10.
+  Csp q4 = NQueensCsp(4);
+  EXPECT_EQ(EnumerateSolutionsViaDecomposition(q4, Decompose(q4)).size(), 2u);
+  Csp q5 = NQueensCsp(5);
+  EXPECT_EQ(EnumerateSolutionsViaDecomposition(q5, Decompose(q5)).size(),
+            10u);
+}
+
+TEST(EnumerateTest, SolutionsAreDistinct) {
+  Csp csp = MakeColoringCsp(GridGraph(2, 3), 3);
+  auto solutions = EnumerateSolutionsViaDecomposition(csp, Decompose(csp));
+  std::set<std::vector<int>> unique(solutions.begin(), solutions.end());
+  EXPECT_EQ(unique.size(), solutions.size());
+  EXPECT_GT(solutions.size(), 0u);
+}
+
+TEST(CountTest, MatchesEnumerationOnRandomCsps) {
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    Hypergraph h = RandomUniformHypergraph(8, 6, 3, seed);
+    Csp csp = MakeRandomCsp(h, 3, 0.5, seed * 11 + 2);
+    GeneralizedHypertreeDecomposition ghd = Decompose(csp);
+    const long counted = CountSolutionsViaDecomposition(csp, ghd);
+    const auto enumerated = EnumerateSolutionsViaDecomposition(csp, ghd);
+    EXPECT_EQ(counted, static_cast<long>(enumerated.size())) << seed;
+  }
+}
+
+TEST(CountTest, ChromaticPolynomialOfCycles) {
+  // Proper k-colorings of C_n: (k-1)^n + (-1)^n (k-1).
+  auto colorings = [](int n, int k) {
+    Csp csp = MakeColoringCsp(CycleGraph(n), k);
+    return CountSolutionsViaDecomposition(csp, Decompose(csp));
+  };
+  EXPECT_EQ(colorings(6, 2), 2);
+  EXPECT_EQ(colorings(7, 2), 0);
+  EXPECT_EQ(colorings(10, 3), 1024 + 2);   // 2^10 + 2
+  EXPECT_EQ(colorings(9, 3), 512 - 2);     // 2^9 - 2
+  EXPECT_EQ(colorings(8, 4), 6561 + 3);    // 3^8 + 3
+}
+
+TEST(CountTest, QueensCounts) {
+  auto queens = [](int n) {
+    Csp csp = NQueensCsp(n);
+    return CountSolutionsViaDecomposition(csp, Decompose(csp));
+  };
+  EXPECT_EQ(queens(4), 2);
+  EXPECT_EQ(queens(5), 10);
+  EXPECT_EQ(queens(6), 4);
+  EXPECT_EQ(queens(7), 40);
+}
+
+TEST(CountTest, LargeCountWithoutEnumeration) {
+  // 3-colorings of a path with 30 vertices: 3 * 2^29 — far too many to
+  // enumerate, counted in milliseconds.
+  Graph path(30);
+  for (int v = 0; v + 1 < 30; ++v) path.AddEdge(v, v + 1);
+  Csp csp = MakeColoringCsp(path, 3);
+  EXPECT_EQ(CountSolutionsViaDecomposition(csp, Decompose(csp)),
+            3L * (1L << 29));
+}
+
+TEST(CountTest, UnsatisfiableIsZero) {
+  Csp csp = MakeColoringCsp(CliqueGraph(4), 3);
+  EXPECT_EQ(CountSolutionsViaDecomposition(csp, Decompose(csp)), 0);
+}
+
+TEST(PaceIoTest, GraphRoundtrip) {
+  Graph g = GridGraph(3, 3);
+  Result<Graph> parsed = ParsePaceGraph(WritePaceGraph(g));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().num_vertices(), 9);
+  EXPECT_EQ(parsed.value().NumEdges(), g.NumEdges());
+  for (int u = 0; u < 9; ++u) {
+    for (int v = u + 1; v < 9; ++v) {
+      EXPECT_EQ(parsed.value().HasEdge(u, v), g.HasEdge(u, v));
+    }
+  }
+}
+
+TEST(PaceIoTest, GraphParserRejectsBadInput) {
+  EXPECT_FALSE(ParsePaceGraph("").ok());
+  EXPECT_FALSE(ParsePaceGraph("1 2\n").ok());
+  EXPECT_FALSE(ParsePaceGraph("p tw 2 1\n1 5\n").ok());
+  EXPECT_FALSE(ParsePaceGraph("p td 2 1\n").ok());
+}
+
+TEST(PaceIoTest, TreeDecompositionRoundtrip) {
+  Graph g = CycleGraph(6);
+  TreeDecomposition td = TdFromOrdering(g, MinFillOrdering(g));
+  const std::string text = WritePaceTreeDecomposition(td, g.num_vertices());
+  Result<TreeDecomposition> parsed = ParsePaceTreeDecomposition(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().num_nodes(), td.num_nodes());
+  EXPECT_EQ(parsed.value().Width(), td.Width());
+  EXPECT_TRUE(parsed.value().ValidateForGraph(g).ok());
+}
+
+TEST(PaceIoTest, TdParserRejectsBadInput) {
+  EXPECT_FALSE(ParsePaceTreeDecomposition("b 1 2\n").ok());
+  EXPECT_FALSE(ParsePaceTreeDecomposition("s td 1 1 2\nb 5 1\n").ok());
+  EXPECT_FALSE(ParsePaceTreeDecomposition("s td 2 1 2\n9 1\n").ok());
+}
+
+TEST(PaceIoTest, HeaderContainsWidthPlusOne) {
+  TreeDecomposition td;
+  td.bags = {VertexSet::Of(3, {0, 1, 2})};
+  const std::string text = WritePaceTreeDecomposition(td, 3);
+  EXPECT_NE(text.find("s td 1 3 3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ghd

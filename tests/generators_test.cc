@@ -1,0 +1,130 @@
+#include "gen/circuits.h"
+#include "gen/generators.h"
+#include "gen/random_hypergraphs.h"
+#include "gtest/gtest.h"
+#include "hypergraph/stats.h"
+
+namespace ghd {
+namespace {
+
+TEST(GeneratorsTest, Grid2dShape) {
+  Hypergraph h = Grid2dHypergraph(3, 4);
+  EXPECT_EQ(h.num_vertices(), 12);
+  EXPECT_EQ(h.num_edges(), 3 * 3 + 2 * 4);
+  EXPECT_EQ(h.Rank(), 2);
+  EXPECT_TRUE(h.IsConnected());
+}
+
+TEST(GeneratorsTest, Grid3dShape) {
+  Hypergraph h = Grid3dHypergraph(3);
+  EXPECT_EQ(h.num_vertices(), 27);
+  EXPECT_EQ(h.num_edges(), 3 * 2 * 9);
+  EXPECT_TRUE(h.IsConnected());
+}
+
+TEST(GeneratorsTest, CliqueShape) {
+  Hypergraph h = CliqueHypergraph(6);
+  EXPECT_EQ(h.num_vertices(), 6);
+  EXPECT_EQ(h.num_edges(), 15);
+}
+
+TEST(GeneratorsTest, CycleShape) {
+  Hypergraph h = CycleHypergraph(7);
+  EXPECT_EQ(h.num_vertices(), 7);
+  EXPECT_EQ(h.num_edges(), 7);
+  EXPECT_EQ(h.MaxDegree(), 2);
+}
+
+TEST(GeneratorsTest, HypercubeShape) {
+  Hypergraph h = HypercubeHypergraph(4);
+  EXPECT_EQ(h.num_vertices(), 16);
+  EXPECT_EQ(h.num_edges(), 32);
+}
+
+TEST(GeneratorsTest, TriangleStripShape) {
+  Hypergraph h = TriangleStripHypergraph(3);
+  EXPECT_EQ(h.num_edges(), 9);
+  EXPECT_TRUE(h.IsConnected());
+}
+
+TEST(GeneratorsTest, StarStats) {
+  Hypergraph h = StarHypergraph(6, 4);
+  EXPECT_EQ(h.num_edges(), 6);
+  EXPECT_EQ(h.num_vertices(), 1 + 6 * 3);
+  EXPECT_EQ(IntersectionWidth(h), 1);
+}
+
+TEST(GeneratorsTest, WindowPathShape) {
+  Hypergraph h = WindowPathHypergraph(10, 3, 2);
+  EXPECT_EQ(h.num_edges(), 4);  // starts 0, 2, 4, 6
+  EXPECT_EQ(h.Rank(), 3);
+}
+
+TEST(CircuitsTest, AdderShape) {
+  Hypergraph h = AdderHypergraph(4);
+  EXPECT_EQ(h.num_edges(), 5 * 4);  // five gates per full adder
+  // Variables: a,b,s,t1,t2,t3 per bit plus k+1 carries.
+  EXPECT_EQ(h.num_vertices(), 6 * 4 + 5);
+  EXPECT_TRUE(h.IsConnected());
+  EXPECT_EQ(h.Rank(), 3);
+}
+
+TEST(CircuitsTest, BridgeShape) {
+  Hypergraph h = BridgeHypergraph(3);
+  EXPECT_EQ(h.num_edges(), 15);
+  EXPECT_EQ(h.num_vertices(), 4 + 6);  // k+1 terminals + 2k middles
+  EXPECT_TRUE(h.IsConnected());
+}
+
+TEST(CircuitsTest, RandomCircuitIsDagShaped) {
+  Hypergraph h = RandomCircuitHypergraph(4, 20, 5);
+  EXPECT_EQ(h.num_edges(), 20);
+  EXPECT_EQ(h.num_vertices(), 24);
+  EXPECT_EQ(h.Rank(), 3);
+  // Deterministic per seed.
+  Hypergraph h2 = RandomCircuitHypergraph(4, 20, 5);
+  for (int e = 0; e < h.num_edges(); ++e) EXPECT_EQ(h.edge(e), h2.edge(e));
+}
+
+TEST(RandomHypergraphsTest, UniformShape) {
+  Hypergraph h = RandomUniformHypergraph(15, 10, 3, 1);
+  EXPECT_EQ(h.num_edges(), 10);
+  EXPECT_EQ(h.num_vertices(), 15);
+  for (int e = 0; e < h.num_edges(); ++e) EXPECT_EQ(h.edge(e).Count(), 3);
+}
+
+TEST(RandomHypergraphsTest, Deterministic) {
+  Hypergraph a = RandomUniformHypergraph(15, 10, 3, 9);
+  Hypergraph b = RandomUniformHypergraph(15, 10, 3, 9);
+  for (int e = 0; e < a.num_edges(); ++e) EXPECT_EQ(a.edge(e), b.edge(e));
+  Hypergraph c = RandomUniformHypergraph(15, 10, 3, 10);
+  bool all_equal = true;
+  for (int e = 0; e < a.num_edges(); ++e) {
+    all_equal = all_equal && a.edge(e) == c.edge(e);
+  }
+  EXPECT_FALSE(all_equal);
+}
+
+TEST(RandomHypergraphsTest, RandomGraphDensity) {
+  Graph g0 = RandomGraph(30, 0.0, 1);
+  EXPECT_EQ(g0.NumEdges(), 0);
+  Graph g1 = RandomGraph(30, 1.0, 1);
+  EXPECT_EQ(g1.NumEdges(), 30 * 29 / 2);
+  Graph gm = RandomGraph(40, 0.3, 2);
+  EXPECT_GT(gm.NumEdges(), 100);  // E ~ 234, far from either tail
+  EXPECT_LT(gm.NumEdges(), 400);
+}
+
+TEST(RandomHypergraphsTest, BoundedIntersectionHolds) {
+  Hypergraph h = RandomBoundedIntersectionHypergraph(25, 12, 4, 1, 4);
+  EXPECT_LE(IntersectionWidth(h), 1);
+  EXPECT_EQ(h.num_edges(), 12);
+}
+
+TEST(RandomHypergraphsTest, BoundedDegreeHolds) {
+  Hypergraph h = RandomBoundedDegreeHypergraph(40, 20, 3, 2, 4);
+  EXPECT_LE(h.MaxDegree(), 2);
+}
+
+}  // namespace
+}  // namespace ghd

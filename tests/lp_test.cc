@@ -1,0 +1,194 @@
+#include "core/fractional.h"
+#include "core/ghw_exact.h"
+#include "gen/circuits.h"
+#include "gen/generators.h"
+#include "gen/random_hypergraphs.h"
+#include "gtest/gtest.h"
+#include "hypergraph/hypergraph_builder.h"
+#include "lp/simplex.h"
+#include "setcover/set_cover.h"
+#include "util/rational.h"
+
+namespace ghd {
+namespace {
+
+TEST(RationalTest, NormalizesOnConstruction) {
+  Rational r(6, 4);
+  EXPECT_EQ(r.num(), 3);
+  EXPECT_EQ(r.den(), 2);
+  Rational neg(3, -6);
+  EXPECT_EQ(neg.num(), -1);
+  EXPECT_EQ(neg.den(), 2);
+  Rational zero(0, 5);
+  EXPECT_EQ(zero.num(), 0);
+  EXPECT_EQ(zero.den(), 1);
+}
+
+TEST(RationalTest, Arithmetic) {
+  Rational half(1, 2), third(1, 3);
+  EXPECT_EQ(half + third, Rational(5, 6));
+  EXPECT_EQ(half - third, Rational(1, 6));
+  EXPECT_EQ(half * third, Rational(1, 6));
+  EXPECT_EQ(half / third, Rational(3, 2));
+  EXPECT_EQ(-half, Rational(-1, 2));
+}
+
+TEST(RationalTest, Comparisons) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_LE(Rational(2, 4), Rational(1, 2));
+  EXPECT_GT(Rational(-1, 4), Rational(-1, 2));
+  EXPECT_GE(Rational(7), Rational(13, 2));
+}
+
+TEST(RationalTest, Rendering) {
+  EXPECT_EQ(Rational(3, 2).ToString(), "3/2");
+  EXPECT_EQ(Rational(4, 2).ToString(), "2");
+  EXPECT_DOUBLE_EQ(Rational(1, 4).ToDouble(), 0.25);
+}
+
+TEST(RationalTest, CrossReductionAvoidsOverflow) {
+  // (2^40 / 3) * (3 / 2^40) = 1 without overflowing intermediates.
+  Rational big(int64_t{1} << 40, 3);
+  Rational small(3, int64_t{1} << 40);
+  EXPECT_EQ(big * small, Rational(1));
+}
+
+TEST(SimplexTest, TextbookMaximization) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18; optimum 36 at (2, 6).
+  PackingLp lp;
+  lp.c = {Rational(3), Rational(5)};
+  lp.a = {{Rational(1), Rational(0)},
+          {Rational(0), Rational(2)},
+          {Rational(3), Rational(2)}};
+  lp.b = {Rational(4), Rational(12), Rational(18)};
+  LpResult r = SolvePackingLp(lp);
+  ASSERT_TRUE(r.bounded);
+  EXPECT_EQ(r.objective, Rational(36));
+  EXPECT_EQ(r.solution[0], Rational(2));
+  EXPECT_EQ(r.solution[1], Rational(6));
+}
+
+TEST(SimplexTest, FractionalOptimum) {
+  // Triangle packing LP: max y1+y2+y3 s.t. pairwise sums <= 1: opt 3/2.
+  PackingLp lp;
+  lp.c = {Rational(1), Rational(1), Rational(1)};
+  lp.a = {{Rational(1), Rational(1), Rational(0)},
+          {Rational(0), Rational(1), Rational(1)},
+          {Rational(1), Rational(0), Rational(1)}};
+  lp.b = {Rational(1), Rational(1), Rational(1)};
+  LpResult r = SolvePackingLp(lp);
+  ASSERT_TRUE(r.bounded);
+  EXPECT_EQ(r.objective, Rational(3, 2));
+}
+
+TEST(SimplexTest, ZeroObjective) {
+  PackingLp lp;
+  lp.c = {Rational(0)};
+  lp.a = {{Rational(1)}};
+  lp.b = {Rational(5)};
+  LpResult r = SolvePackingLp(lp);
+  ASSERT_TRUE(r.bounded);
+  EXPECT_EQ(r.objective, Rational(0));
+}
+
+TEST(SimplexTest, UnboundedDetected) {
+  // max x with no constraint touching x.
+  PackingLp lp;
+  lp.c = {Rational(1), Rational(0)};
+  lp.a = {{Rational(0), Rational(1)}};
+  lp.b = {Rational(1)};
+  LpResult r = SolvePackingLp(lp);
+  EXPECT_FALSE(r.bounded);
+}
+
+TEST(SimplexTest, DegenerateTiesTerminate) {
+  // Multiple rows with zero rhs force degenerate pivots; Bland's rule must
+  // still terminate.
+  PackingLp lp;
+  lp.c = {Rational(1), Rational(1)};
+  lp.a = {{Rational(1), Rational(-1)},
+          {Rational(1), Rational(0)},
+          {Rational(-1), Rational(1)},
+          {Rational(0), Rational(1)}};
+  lp.b = {Rational(0), Rational(2), Rational(0), Rational(2)};
+  LpResult r = SolvePackingLp(lp);
+  ASSERT_TRUE(r.bounded);
+  EXPECT_EQ(r.objective, Rational(4));
+}
+
+TEST(FractionalCoverTest, TriangleIsThreeHalves) {
+  Hypergraph h = CycleHypergraph(3);
+  EXPECT_EQ(FractionalCoverNumber(h.CoveredVertices(), h.edges()),
+            Rational(3, 2));
+}
+
+TEST(FractionalCoverTest, CliqueVerticesNeedNOverTwo) {
+  for (int n = 3; n <= 7; ++n) {
+    Hypergraph h = CliqueHypergraph(n);
+    EXPECT_EQ(FractionalCoverNumber(h.CoveredVertices(), h.edges()),
+              Rational(n, 2))
+        << n;
+  }
+}
+
+TEST(FractionalCoverTest, SingleEdgeCoversItselfAtCostOne) {
+  HypergraphBuilder b;
+  b.AddEdge("e", {"a", "b", "c"});
+  Hypergraph h = std::move(b).Build();
+  EXPECT_EQ(FractionalCoverNumber(h.CoveredVertices(), h.edges()),
+            Rational(1));
+}
+
+TEST(FractionalCoverTest, EmptyTargetIsZero) {
+  Hypergraph h = CycleHypergraph(4);
+  EXPECT_EQ(FractionalCoverNumber(VertexSet(4), h.edges()), Rational(0));
+}
+
+TEST(FractionalCoverTest, NeverExceedsIntegralCover) {
+  for (uint64_t seed = 0; seed < 15; ++seed) {
+    Hypergraph h = RandomUniformHypergraph(12, 9, 3, seed);
+    const VertexSet target = h.CoveredVertices();
+    const Rational fractional = FractionalCoverNumber(target, h.edges());
+    auto integral = ExactSetCoverSize(target, h.edges());
+    ASSERT_TRUE(integral.has_value());
+    EXPECT_LE(fractional, Rational(*integral)) << seed;
+    EXPECT_GE(fractional, Rational(1)) << seed;
+  }
+}
+
+TEST(FhwTest, AcyclicIsOne) {
+  Hypergraph star = StarHypergraph(5, 3);
+  EXPECT_EQ(FhwUpperBound(star, OrderingHeuristic::kMinFill), Rational(1));
+}
+
+TEST(FhwTest, TriangleIsThreeHalves) {
+  // fhw(C_3) = 3/2: the classic example separating fhw from ghw = 2.
+  Hypergraph triangle = CycleHypergraph(3);
+  EXPECT_EQ(FhwUpperBound(triangle, OrderingHeuristic::kMinFill),
+            Rational(3, 2));
+}
+
+TEST(FhwTest, NeverExceedsGhw) {
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    Hypergraph h = RandomUniformHypergraph(10, 8, 3, seed);
+    ExactGhwResult ghw = ExactGhw(h);
+    ASSERT_TRUE(ghw.exact);
+    // The *same ordering* bound: fractional covers of the optimal ordering's
+    // bags are at most the integral covers.
+    ASSERT_FALSE(ghw.best_ordering.empty());
+    const Rational fhw_ub = FhwFromOrdering(h, ghw.best_ordering);
+    EXPECT_LE(fhw_ub, Rational(ghw.upper_bound)) << seed;
+  }
+}
+
+TEST(FhwTest, AdderFamily) {
+  for (int k = 1; k <= 4; ++k) {
+    const Rational fhw = FhwUpperBound(AdderHypergraph(k),
+                                       OrderingHeuristic::kMinFill);
+    EXPECT_GE(fhw, Rational(1)) << k;
+    EXPECT_LE(fhw, Rational(2)) << k;
+  }
+}
+
+}  // namespace
+}  // namespace ghd

@@ -1,0 +1,163 @@
+#include <algorithm>
+
+#include "csp/query.h"
+#include "gen/random_hypergraphs.h"
+#include "gtest/gtest.h"
+#include "util/rng.h"
+
+namespace ghd {
+namespace {
+
+Database PathDatabase() {
+  Database db;
+  db.AddTable("r", {{1, 2}, {2, 3}, {3, 4}});
+  db.AddTable("s", {{2, 10}, {3, 20}, {9, 30}});
+  return db;
+}
+
+TEST(QueryParserTest, ParsesBasicQuery) {
+  Result<ConjunctiveQuery> q =
+      ParseConjunctiveQuery("ans(x, z) :- r(x, y), s(y, z).");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q.value().free_variables,
+            (std::vector<std::string>{"x", "z"}));
+  ASSERT_EQ(q.value().atoms.size(), 2u);
+  EXPECT_EQ(q.value().atoms[0].relation, "r");
+  EXPECT_EQ(q.value().atoms[1].variables,
+            (std::vector<std::string>{"y", "z"}));
+}
+
+TEST(QueryParserTest, BooleanQueryHead) {
+  Result<ConjunctiveQuery> q = ParseConjunctiveQuery("ans() :- r(x, y)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q.value().free_variables.empty());
+}
+
+TEST(QueryParserTest, DeduplicatesHeadVariables) {
+  Result<ConjunctiveQuery> q = ParseConjunctiveQuery("ans(x, x) :- r(x, y)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q.value().free_variables, (std::vector<std::string>{"x"}));
+}
+
+TEST(QueryParserTest, RejectsMalformed) {
+  EXPECT_FALSE(ParseConjunctiveQuery("ans(x)").ok());
+  EXPECT_FALSE(ParseConjunctiveQuery("ans(x) :- ").ok());
+  EXPECT_FALSE(ParseConjunctiveQuery("ans(x) :- r(x").ok());
+  EXPECT_FALSE(ParseConjunctiveQuery(":- r(x, y)").ok());
+  EXPECT_FALSE(ParseConjunctiveQuery("ans(x) :- r(x, y) junk").ok());
+  EXPECT_FALSE(ParseConjunctiveQuery("ans(x) :- r()").ok());
+}
+
+TEST(QueryHypergraphTest, OneEdgePerAtom) {
+  ConjunctiveQuery q =
+      ParseConjunctiveQuery("ans(x) :- r(x, y), s(y, z), t(z, x)").value();
+  Hypergraph h = QueryHypergraph(q);
+  EXPECT_EQ(h.num_edges(), 3);
+  EXPECT_EQ(h.num_vertices(), 3);
+}
+
+TEST(QueryEvalTest, PathJoin) {
+  // ans(x, z) :- r(x, y), s(y, z): r-hops into s.
+  Database db = PathDatabase();
+  ConjunctiveQuery q =
+      ParseConjunctiveQuery("ans(x, z) :- r(x, y), s(y, z)").value();
+  Result<QueryAnswer> a = EvaluateConjunctiveQuery(db, q);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a.value().rows,
+            (std::vector<std::vector<int>>{{1, 10}, {2, 20}}));
+}
+
+TEST(QueryEvalTest, TriangleQuery) {
+  Database db;
+  db.AddTable("e", {{1, 2}, {2, 3}, {3, 1}, {3, 4}});
+  ConjunctiveQuery q =
+      ParseConjunctiveQuery("ans(x, y, z) :- e(x, y), e(y, z), e(z, x)")
+          .value();
+  Result<QueryAnswer> a = EvaluateConjunctiveQuery(db, q);
+  ASSERT_TRUE(a.ok());
+  // The single triangle 1-2-3 in all three rotations.
+  EXPECT_EQ(a.value().rows, (std::vector<std::vector<int>>{
+                                {1, 2, 3}, {2, 3, 1}, {3, 1, 2}}));
+}
+
+TEST(QueryEvalTest, BooleanQueries) {
+  Database db = PathDatabase();
+  ConjunctiveQuery sat =
+      ParseConjunctiveQuery("ans() :- r(x, y), s(y, z)").value();
+  Result<QueryAnswer> a = EvaluateConjunctiveQuery(db, sat);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a.value().rows.size(), 1u);  // "true"
+
+  ConjunctiveQuery unsat =
+      ParseConjunctiveQuery("ans() :- r(x, y), s(x, z), s(z, x)").value();
+  Result<QueryAnswer> b = EvaluateConjunctiveQuery(db, unsat);
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(b.value().rows.empty());  // "false"
+}
+
+TEST(QueryEvalTest, RepeatedVariableSelection) {
+  Database db;
+  db.AddTable("p", {{1, 1}, {1, 2}, {3, 3}});
+  ConjunctiveQuery q = ParseConjunctiveQuery("ans(x) :- p(x, x)").value();
+  Result<QueryAnswer> a = EvaluateConjunctiveQuery(db, q);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a.value().rows, (std::vector<std::vector<int>>{{1}, {3}}));
+}
+
+TEST(QueryEvalTest, ErrorsAreReported) {
+  Database db = PathDatabase();
+  EXPECT_FALSE(EvaluateConjunctiveQuery(
+                   db, ParseConjunctiveQuery("ans(x) :- nope(x, y)").value())
+                   .ok());
+  // Arity mismatch: r has 2 columns.
+  EXPECT_FALSE(EvaluateConjunctiveQuery(
+                   db, ParseConjunctiveQuery("ans(x) :- r(x, y, z)").value())
+                   .ok());
+  // Free variable not in any atom.
+  ConjunctiveQuery q = ParseConjunctiveQuery("ans(w) :- r(x, y)").value();
+  EXPECT_FALSE(EvaluateConjunctiveQuery(db, q).ok());
+}
+
+TEST(QueryEvalTest, AgreesWithFullJoinOnRandomQueries) {
+  Rng rng(31);
+  for (int trial = 0; trial < 20; ++trial) {
+    // Random database: 3 binary tables over a small domain.
+    Database db;
+    for (const char* name : {"r", "s", "t"}) {
+      std::vector<std::vector<int>> rows;
+      const int count = 4 + rng.UniformInt(8);
+      for (int i = 0; i < count; ++i) {
+        rows.push_back({rng.UniformInt(5), rng.UniformInt(5)});
+      }
+      db.AddTable(name, std::move(rows));
+    }
+    // Random chain/cycle-ish query over 4 variables.
+    const char* shapes[] = {
+        "ans(a, d) :- r(a, b), s(b, c), t(c, d)",
+        "ans(a, c) :- r(a, b), s(b, c), t(c, a)",
+        "ans(b) :- r(a, b), s(b, a)",
+        "ans(a, b, c) :- r(a, b), s(a, c)",
+    };
+    ConjunctiveQuery q =
+        ParseConjunctiveQuery(shapes[trial % 4]).value();
+    Result<QueryAnswer> fast = EvaluateConjunctiveQuery(db, q);
+    Result<QueryAnswer> slow = EvaluateByFullJoin(db, q);
+    ASSERT_TRUE(fast.ok() && slow.ok()) << trial;
+    EXPECT_EQ(fast.value().rows, slow.value().rows) << trial;
+  }
+}
+
+TEST(QueryEvalTest, BoundedWidthAcyclicChainGetsWidth1) {
+  Database db;
+  db.AddTable("r", {{1, 2}});
+  db.AddTable("s", {{2, 3}});
+  ConjunctiveQuery q =
+      ParseConjunctiveQuery("ans(x, z) :- r(x, y), s(y, z)").value();
+  Result<QueryAnswer> a = EvaluateConjunctiveQuery(db, q);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a.value().decomposition_width, 1);
+  EXPECT_EQ(a.value().rows, (std::vector<std::vector<int>>{{1, 3}}));
+}
+
+}  // namespace
+}  // namespace ghd

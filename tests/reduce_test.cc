@@ -1,0 +1,92 @@
+#include "core/ghw_exact.h"
+#include "gen/random_hypergraphs.h"
+#include "gtest/gtest.h"
+#include "htd/det_k_decomp.h"
+#include "hypergraph/hypergraph_builder.h"
+#include "hypergraph/reduce.h"
+
+namespace ghd {
+namespace {
+
+TEST(ReduceTest, RemovesContainedEdges) {
+  HypergraphBuilder b;
+  b.AddEdge("big", {"a", "b", "c"});
+  b.AddEdge("inside", {"a", "b"});
+  b.AddEdge("other", {"c", "d"});
+  Hypergraph h = std::move(b).Build();
+  EXPECT_EQ(CountSubsumedEdges(h), 1);
+  Hypergraph reduced = RemoveSubsumedEdges(h);
+  EXPECT_EQ(reduced.num_edges(), 2);
+  EXPECT_EQ(reduced.edge_name(0), "big");
+  EXPECT_EQ(reduced.edge_name(1), "other");
+  EXPECT_EQ(reduced.num_vertices(), h.num_vertices());
+}
+
+TEST(ReduceTest, KeepsOneOfDuplicates) {
+  HypergraphBuilder b;
+  b.AddEdge("first", {"a", "b"});
+  b.AddEdge("second", {"a", "b"});
+  b.AddEdge("third", {"a", "b"});
+  Hypergraph reduced = RemoveSubsumedEdges(std::move(b).Build());
+  ASSERT_EQ(reduced.num_edges(), 1);
+  EXPECT_EQ(reduced.edge_name(0), "first");
+}
+
+TEST(ReduceTest, ChainOfContainments) {
+  HypergraphBuilder b;
+  b.AddEdge("s", {"a"});
+  b.AddEdge("m", {"a", "b"});
+  b.AddEdge("l", {"a", "b", "c"});
+  Hypergraph reduced = RemoveSubsumedEdges(std::move(b).Build());
+  ASSERT_EQ(reduced.num_edges(), 1);
+  EXPECT_EQ(reduced.edge_name(0), "l");
+}
+
+TEST(ReduceTest, NoOpOnAntichains) {
+  Hypergraph h = RandomUniformHypergraph(12, 8, 3, 3);
+  // Uniform same-size edges can only subsume by duplication.
+  const int dupes = CountSubsumedEdges(h);
+  Hypergraph reduced = RemoveSubsumedEdges(h);
+  EXPECT_EQ(reduced.num_edges(), h.num_edges() - dupes);
+}
+
+TEST(ReduceTest, GhwIsInvariant) {
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    // Mix arities so containments actually occur.
+    HypergraphBuilder b;
+    Hypergraph base = RandomUniformHypergraph(10, 6, 3, seed);
+    for (int e = 0; e < base.num_edges(); ++e) {
+      std::vector<std::string> names;
+      base.edge(e).ForEach(
+          [&](int v) { names.push_back(base.vertex_name(v)); });
+      b.AddEdge("e" + std::to_string(e), names);
+      // Add a sub-edge of every other edge.
+      if (e % 2 == 0 && names.size() >= 2) {
+        b.AddEdge("sub" + std::to_string(e), {names[0], names[1]});
+      }
+    }
+    Hypergraph h = std::move(b).Build();
+    Hypergraph reduced = RemoveSubsumedEdges(h);
+    ASSERT_LT(reduced.num_edges(), h.num_edges()) << seed;
+    ExactGhwResult full = ExactGhw(h);
+    ExactGhwResult red = ExactGhw(reduced);
+    ASSERT_TRUE(full.exact && red.exact) << seed;
+    EXPECT_EQ(full.upper_bound, red.upper_bound) << seed;
+  }
+}
+
+TEST(ReduceTest, HwIsInvariant) {
+  HypergraphBuilder b;
+  b.AddEdge("t1", {"a", "b", "p"});
+  b.AddEdge("t2", {"b", "c", "q"});
+  b.AddEdge("t3", {"c", "a", "r"});
+  b.AddEdge("sub", {"a", "b"});
+  Hypergraph h = std::move(b).Build();
+  HypertreeWidthResult full = HypertreeWidth(h);
+  HypertreeWidthResult red = HypertreeWidth(RemoveSubsumedEdges(h));
+  ASSERT_TRUE(full.exact && red.exact);
+  EXPECT_EQ(full.width, red.width);
+}
+
+}  // namespace
+}  // namespace ghd

@@ -1,0 +1,139 @@
+#include "csp/backtracking.h"
+#include "csp/sat.h"
+#include "gen/sat_gen.h"
+#include "gtest/gtest.h"
+
+namespace ghd {
+namespace {
+
+bool Satisfies(const CnfFormula& f, const std::vector<bool>& assignment) {
+  for (const auto& clause : f.clauses) {
+    bool sat = false;
+    for (int lit : clause) {
+      const bool value = assignment[std::abs(lit)];
+      if ((lit > 0) == value) sat = true;
+    }
+    if (!sat) return false;
+  }
+  return true;
+}
+
+TEST(DpllTest, TrivialSat) {
+  CnfFormula f;
+  f.num_vars = 2;
+  f.clauses = {{1, 2}};
+  auto a = SolveDpll(f);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_TRUE(Satisfies(f, *a));
+}
+
+TEST(DpllTest, TrivialUnsat) {
+  CnfFormula f;
+  f.num_vars = 1;
+  f.clauses = {{1}, {-1}};
+  EXPECT_FALSE(SolveDpll(f).has_value());
+}
+
+TEST(DpllTest, UnitPropagationChain) {
+  CnfFormula f;
+  f.num_vars = 4;
+  f.clauses = {{1}, {-1, 2}, {-2, 3}, {-3, 4}};
+  auto a = SolveDpll(f);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_TRUE((*a)[1] && (*a)[2] && (*a)[3] && (*a)[4]);
+}
+
+TEST(DpllTest, UnsatCoreViaPropagation) {
+  CnfFormula f;
+  f.num_vars = 3;
+  f.clauses = {{1}, {-1, 2}, {-2, 3}, {-3, -1}};
+  EXPECT_FALSE(SolveDpll(f).has_value());
+}
+
+TEST(DpllTest, PigeonholePhp32IsUnsat) {
+  // 3 pigeons, 2 holes: vars p_{i,h} = 2*i + h + 1 for i in 0..2, h in 0..1.
+  CnfFormula f;
+  f.num_vars = 6;
+  auto var = [](int pigeon, int hole) { return 2 * pigeon + hole + 1; };
+  for (int i = 0; i < 3; ++i) f.clauses.push_back({var(i, 0), var(i, 1)});
+  for (int h = 0; h < 2; ++h) {
+    for (int i = 0; i < 3; ++i) {
+      for (int j = i + 1; j < 3; ++j) {
+        f.clauses.push_back({-var(i, h), -var(j, h)});
+      }
+    }
+  }
+  EXPECT_FALSE(SolveDpll(f).has_value());
+}
+
+TEST(DpllTest, AgreesWithCspBacktrackingOnRandom3Sat) {
+  for (uint64_t seed = 0; seed < 15; ++seed) {
+    // Around the phase transition (ratio ~4.3) both outcomes occur.
+    CnfFormula f = RandomKSat(8, 34, 3, seed);
+    auto dpll = SolveDpll(f);
+    Csp csp = CspFromCnf(f);
+    BacktrackingResult bt = SolveBacktracking(csp);
+    ASSERT_TRUE(bt.decided);
+    EXPECT_EQ(dpll.has_value(), bt.solution.has_value()) << "seed " << seed;
+    if (dpll.has_value()) {
+      EXPECT_TRUE(Satisfies(f, *dpll));
+    }
+  }
+}
+
+TEST(CspFromCnfTest, ClauseRelationsHoldSatisfyingTuples) {
+  CnfFormula f;
+  f.num_vars = 3;
+  f.clauses = {{1, -2, 3}};
+  Csp csp = CspFromCnf(f);
+  ASSERT_EQ(csp.constraints.size(), 1u);
+  EXPECT_EQ(csp.constraints[0].size(), 7);  // 2^3 - 1 falsifying assignment
+  EXPECT_EQ(csp.num_variables(), 3);
+}
+
+TEST(CspFromCnfTest, DuplicateVariableInClause) {
+  CnfFormula f;
+  f.num_vars = 2;
+  f.clauses = {{1, -1, 2}};  // tautology over x1
+  Csp csp = CspFromCnf(f);
+  EXPECT_EQ(csp.constraints[0].arity(), 2);
+  EXPECT_EQ(csp.constraints[0].size(), 4);  // all tuples satisfy
+}
+
+TEST(ClauseHypergraphTest, Shape) {
+  CnfFormula f;
+  f.num_vars = 4;
+  f.clauses = {{1, 2, 3}, {-2, -4}};
+  Hypergraph h = ClauseHypergraph(f);
+  EXPECT_EQ(h.num_vertices(), 4);
+  EXPECT_EQ(h.num_edges(), 2);
+  EXPECT_EQ(h.edge(0).Count(), 3);
+  EXPECT_EQ(h.edge(1).Count(), 2);
+}
+
+TEST(RandomKSatTest, ShapeAndDeterminism) {
+  CnfFormula a = RandomKSat(10, 20, 3, 7);
+  CnfFormula b = RandomKSat(10, 20, 3, 7);
+  EXPECT_EQ(a.clauses, b.clauses);
+  EXPECT_EQ(a.clauses.size(), 20u);
+  for (const auto& clause : a.clauses) {
+    EXPECT_EQ(clause.size(), 3u);
+    // Distinct variables within each clause.
+    for (size_t i = 0; i < clause.size(); ++i) {
+      for (size_t j = i + 1; j < clause.size(); ++j) {
+        EXPECT_NE(std::abs(clause[i]), std::abs(clause[j]));
+      }
+    }
+  }
+}
+
+TEST(DpllTest, BudgetExhaustionReturnsNullopt) {
+  CnfFormula f = RandomKSat(20, 85, 3, 3);
+  // A budget of 1 node can only fail; nullopt here means "unsat or budget",
+  // and for this size it is certainly the budget.
+  auto a = SolveDpll(f, /*node_budget=*/1);
+  EXPECT_FALSE(a.has_value());
+}
+
+}  // namespace
+}  // namespace ghd

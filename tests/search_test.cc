@@ -1,0 +1,102 @@
+#include "core/ghw_exact.h"
+#include "gen/generators.h"
+#include "gen/random_hypergraphs.h"
+#include "gtest/gtest.h"
+#include "search/local_search.h"
+#include "td/bucket_elimination.h"
+#include "td/exact_treewidth.h"
+#include "td/ordering_heuristics.h"
+
+namespace ghd {
+namespace {
+
+TEST(LocalSearchTest, ReturnsValidOrdering) {
+  Graph g = RandomGraph(18, 0.3, 3);
+  LocalSearchResult r = TreewidthLocalSearch(g);
+  EXPECT_TRUE(IsValidOrdering(g, r.ordering));
+  EXPECT_EQ(EliminationWidth(g, r.ordering), r.width);
+}
+
+TEST(LocalSearchTest, NeverWorseThanMinFill) {
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    Graph g = RandomGraph(16, 0.3, seed);
+    const int min_fill_width = EliminationWidth(g, MinFillOrdering(g));
+    LocalSearchOptions options;
+    options.seed = seed;
+    LocalSearchResult r = TreewidthLocalSearch(g, options);
+    EXPECT_LE(r.width, min_fill_width) << seed;
+  }
+}
+
+TEST(LocalSearchTest, ReachesExactTreewidthOnSmallGraphs) {
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    Graph g = RandomGraph(12, 0.3, seed + 50);
+    ExactTreewidthResult exact = ExactTreewidth(g);
+    ASSERT_TRUE(exact.exact);
+    LocalSearchOptions options;
+    options.seed = seed;
+    options.max_moves = 3000;
+    LocalSearchResult r = TreewidthLocalSearch(g, options);
+    EXPECT_GE(r.width, exact.upper_bound) << seed;  // never below optimum
+    // Local search should usually find the optimum at this size.
+    EXPECT_LE(r.width, exact.upper_bound + 1) << seed;
+  }
+}
+
+TEST(LocalSearchTest, GhwVariantImprovesOrMatchesGreedy) {
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    Hypergraph h = RandomUniformHypergraph(16, 12, 3, seed);
+    const Graph primal = h.PrimalGraph();
+    const int greedy = GhwWidthFromOrdering(h, MinFillOrdering(primal),
+                                            CoverMode::kExact);
+    LocalSearchOptions options;
+    options.seed = seed;
+    options.max_moves = 400;  // exact covers per move: keep it modest
+    LocalSearchResult r = GhwLocalSearch(h, CoverMode::kExact, options);
+    EXPECT_LE(r.width, greedy) << seed;
+    EXPECT_EQ(GhwWidthFromOrdering(h, r.ordering, CoverMode::kExact), r.width);
+  }
+}
+
+TEST(LocalSearchTest, NeverBelowExactGhw) {
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    Hypergraph h = RandomUniformHypergraph(10, 8, 3, seed);
+    ExactGhwResult exact = ExactGhw(h);
+    ASSERT_TRUE(exact.exact);
+    LocalSearchOptions options;
+    options.seed = seed;
+    options.max_moves = 300;
+    LocalSearchResult r = GhwLocalSearch(h, CoverMode::kExact, options);
+    EXPECT_GE(r.width, exact.upper_bound) << seed;
+  }
+}
+
+TEST(LocalSearchTest, DeterministicPerSeed) {
+  Graph g = RandomGraph(14, 0.3, 9);
+  LocalSearchOptions options;
+  options.seed = 77;
+  LocalSearchResult a = TreewidthLocalSearch(g, options);
+  LocalSearchResult b = TreewidthLocalSearch(g, options);
+  EXPECT_EQ(a.width, b.width);
+  EXPECT_EQ(a.ordering, b.ordering);
+}
+
+TEST(LocalSearchTest, TinyGraphs) {
+  Graph empty(0);
+  EXPECT_EQ(TreewidthLocalSearch(empty).width, 0);
+  Graph one(1);
+  LocalSearchResult r = TreewidthLocalSearch(one);
+  EXPECT_EQ(r.width, 0);
+  EXPECT_EQ(r.ordering.size(), 1u);
+}
+
+TEST(LocalSearchTest, GridReachesKnownTreewidth) {
+  Graph g = GridGraph(5, 5);
+  LocalSearchOptions options;
+  options.max_moves = 2500;
+  LocalSearchResult r = TreewidthLocalSearch(g, options);
+  EXPECT_EQ(r.width, 5);  // tw(5x5 grid) = 5; min-fill already achieves it
+}
+
+}  // namespace
+}  // namespace ghd

@@ -1,0 +1,164 @@
+#include <optional>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "setcover/set_cover.h"
+#include "util/rng.h"
+
+namespace ghd {
+namespace {
+
+std::vector<VertexSet> Sets(int universe,
+                            const std::vector<std::vector<int>>& raw) {
+  std::vector<VertexSet> out;
+  for (const auto& s : raw) out.push_back(VertexSet::Of(universe, s));
+  return out;
+}
+
+TEST(IsSetCoverTest, DetectsCoverAndNonCover) {
+  auto sets = Sets(5, {{0, 1}, {2, 3}, {4}});
+  const VertexSet target = VertexSet::Full(5);
+  EXPECT_TRUE(IsSetCover(target, sets, {0, 1, 2}));
+  EXPECT_FALSE(IsSetCover(target, sets, {0, 1}));
+  EXPECT_TRUE(IsSetCover(VertexSet::Of(5, {0, 4}), sets, {0, 2}));
+}
+
+TEST(GreedyTest, CoversTarget) {
+  auto sets = Sets(6, {{0, 1, 2}, {2, 3}, {3, 4, 5}, {0, 5}});
+  const VertexSet target = VertexSet::Full(6);
+  auto cover = GreedySetCover(target, sets);
+  EXPECT_TRUE(IsSetCover(target, sets, cover));
+  EXPECT_EQ(cover.size(), 2u);  // {0,1,2} + {3,4,5}
+}
+
+TEST(GreedyTest, EmptyTargetNeedsNothing) {
+  auto sets = Sets(3, {{0, 1}});
+  EXPECT_TRUE(GreedySetCover(VertexSet(3), sets).empty());
+}
+
+TEST(GreedyTest, RandomTieBreakStillCovers) {
+  auto sets = Sets(4, {{0, 1}, {2, 3}, {0, 2}, {1, 3}});
+  Rng rng(3);
+  for (int i = 0; i < 20; ++i) {
+    auto cover = GreedySetCover(VertexSet::Full(4), sets, &rng);
+    EXPECT_TRUE(IsSetCover(VertexSet::Full(4), sets, cover));
+  }
+}
+
+TEST(GreedyTest, ClassicLogFactorExample) {
+  // Greedy can be forced to 3 sets where optimum is 2.
+  auto sets = Sets(8, {{0, 1, 2, 3},          // greedy takes this first
+                       {0, 2, 4, 6},          // optimal pair
+                       {1, 3, 5, 7},          // optimal pair
+                       {4, 5},
+                       {6, 7}});
+  auto greedy = GreedySetCover(VertexSet::Full(8), sets);
+  auto exact = ExactSetCover(VertexSet::Full(8), sets);
+  ASSERT_TRUE(exact.has_value());
+  EXPECT_EQ(exact->size(), 2u);
+  EXPECT_GE(greedy.size(), exact->size());
+}
+
+TEST(ExactTest, FindsOptimum) {
+  auto sets = Sets(6, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {0, 5},
+                       {0, 2, 4}, {1, 3, 5}});
+  auto cover = ExactSetCover(VertexSet::Full(6), sets);
+  ASSERT_TRUE(cover.has_value());
+  EXPECT_EQ(cover->size(), 2u);  // the two 3-sets
+  EXPECT_TRUE(IsSetCover(VertexSet::Full(6), sets, *cover));
+}
+
+TEST(ExactTest, SingleSetSuffices) {
+  auto sets = Sets(4, {{0, 1}, {0, 1, 2, 3}});
+  auto cover = ExactSetCover(VertexSet::Full(4), sets);
+  ASSERT_TRUE(cover.has_value());
+  EXPECT_EQ(cover->size(), 1u);
+}
+
+TEST(ExactTest, EmptyTarget) {
+  auto sets = Sets(3, {{0}});
+  auto cover = ExactSetCover(VertexSet(3), sets);
+  ASSERT_TRUE(cover.has_value());
+  EXPECT_TRUE(cover->empty());
+}
+
+TEST(ExactTest, BudgetExhaustionReturnsNullopt) {
+  // A large random-ish instance with a tiny node budget.
+  std::vector<std::vector<int>> raw;
+  for (int i = 0; i < 30; ++i) raw.push_back({i, (i + 7) % 30, (i + 13) % 30});
+  auto sets = Sets(30, raw);
+  ExactSetCoverOptions options;
+  options.node_budget = 1;
+  EXPECT_FALSE(ExactSetCover(VertexSet::Full(30), sets, options).has_value());
+}
+
+TEST(ExactTest, NeverWorseThanGreedy) {
+  Rng rng(99);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<std::vector<int>> raw;
+    const int universe = 12;
+    const int num_sets = 8;
+    for (int s = 0; s < num_sets; ++s) {
+      std::vector<int> members;
+      for (int v = 0; v < universe; ++v) {
+        if (rng.Bernoulli(0.35)) members.push_back(v);
+      }
+      if (members.empty()) members.push_back(rng.UniformInt(universe));
+      raw.push_back(members);
+    }
+    auto sets = Sets(universe, raw);
+    VertexSet target(universe);
+    for (const auto& s : sets) target |= s;
+    auto greedy = GreedySetCover(target, sets);
+    auto exact = ExactSetCover(target, sets);
+    ASSERT_TRUE(exact.has_value());
+    EXPECT_LE(exact->size(), greedy.size());
+    EXPECT_TRUE(IsSetCover(target, sets, *exact));
+  }
+}
+
+TEST(ExactSizeTest, MatchesExactCover) {
+  auto sets = Sets(5, {{0, 1, 2}, {2, 3}, {3, 4}});
+  auto size = ExactSetCoverSize(VertexSet::Full(5), sets);
+  ASSERT_TRUE(size.has_value());
+  EXPECT_EQ(*size, 2);
+}
+
+TEST(LowerBoundTest, WitnessBoundIsSound) {
+  auto sets = Sets(6, {{0, 1}, {2, 3}, {4, 5}});
+  const VertexSet target = VertexSet::Full(6);
+  const int lb = SetCoverLowerBound(target, sets);
+  auto exact = ExactSetCover(target, sets);
+  ASSERT_TRUE(exact.has_value());
+  EXPECT_LE(lb, static_cast<int>(exact->size()));
+  EXPECT_EQ(lb, 3);  // disjoint sets: bound is tight here
+}
+
+TEST(LowerBoundTest, OverlappingSetsWeakerBound) {
+  auto sets = Sets(4, {{0, 1, 2, 3}, {0, 1}, {2, 3}});
+  EXPECT_EQ(SetCoverLowerBound(VertexSet::Full(4), sets), 1);
+}
+
+TEST(CoverCountLowerBoundTest, SumOfLargest) {
+  auto sets = Sets(10, {{0, 1, 2}, {3, 4}, {5}, {6}});
+  EXPECT_EQ(CoverCountLowerBound(0, sets), 0);
+  EXPECT_EQ(CoverCountLowerBound(3, sets), 1);
+  EXPECT_EQ(CoverCountLowerBound(4, sets), 2);
+  EXPECT_EQ(CoverCountLowerBound(5, sets), 2);
+  EXPECT_EQ(CoverCountLowerBound(6, sets), 3);
+  EXPECT_EQ(CoverCountLowerBound(7, sets), 4);
+  // More vertices than all sets reach: impossible marker m+1.
+  EXPECT_EQ(CoverCountLowerBound(8, sets), 5);
+}
+
+TEST(StopAtSizeTest, DecisionShortCircuit) {
+  auto sets = Sets(6, {{0, 1, 2}, {3, 4, 5}, {0, 3}, {1, 4}, {2, 5}});
+  ExactSetCoverOptions options;
+  options.stop_at_size = 2;
+  auto cover = ExactSetCover(VertexSet::Full(6), sets, options);
+  ASSERT_TRUE(cover.has_value());
+  EXPECT_LE(cover->size(), 2u);
+}
+
+}  // namespace
+}  // namespace ghd

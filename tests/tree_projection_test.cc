@@ -1,0 +1,123 @@
+#include "core/ghw_exact.h"
+#include "core/tree_projection.h"
+#include "gen/generators.h"
+#include "gen/random_hypergraphs.h"
+#include "gtest/gtest.h"
+#include "htd/det_k_decomp.h"
+#include "hypergraph/hypergraph_builder.h"
+
+namespace ghd {
+namespace {
+
+TEST(KFoldUnionTest, CountsDistinctUnions) {
+  HypergraphBuilder b;
+  b.AddEdge("e1", {"a", "b"});
+  b.AddEdge("e2", {"b", "c"});
+  b.AddEdge("e3", {"c", "d"});
+  Hypergraph h = std::move(b).Build();
+  Result<Hypergraph> k1 = KFoldUnionHypergraph(h, 1);
+  ASSERT_TRUE(k1.ok());
+  EXPECT_EQ(k1.value().num_edges(), 3);
+  Result<Hypergraph> k2 = KFoldUnionHypergraph(h, 2);
+  ASSERT_TRUE(k2.ok());
+  EXPECT_EQ(k2.value().num_edges(), 6);  // 3 singles + 3 distinct pairs
+  Result<Hypergraph> k3 = KFoldUnionHypergraph(h, 3);
+  ASSERT_TRUE(k3.ok());
+  // The triple union equals e1 ∪ e3 = {a,b,c,d}: deduplicated, still 6.
+  EXPECT_EQ(k3.value().num_edges(), 6);
+}
+
+TEST(KFoldUnionTest, PreservesVertexUniverse) {
+  Hypergraph h = CycleHypergraph(5);
+  Result<Hypergraph> k2 = KFoldUnionHypergraph(h, 2);
+  ASSERT_TRUE(k2.ok());
+  EXPECT_EQ(k2.value().num_vertices(), h.num_vertices());
+  EXPECT_EQ(k2.value().vertex_name(0), h.vertex_name(0));
+}
+
+TEST(KFoldUnionTest, CapIsEnforced) {
+  Hypergraph h = RandomUniformHypergraph(20, 12, 3, 1);
+  Result<Hypergraph> r = KFoldUnionHypergraph(h, 3, 10);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(TreeProjectionTest, SelfProjectionIffAcyclic) {
+  // TP(H, H) holds iff H is alpha-acyclic (bags inside H's own edges).
+  Hypergraph star = StarHypergraph(4, 3);
+  TreeProjectionResult r = TreeProjectionExists(star, star);
+  ASSERT_TRUE(r.decided);
+  EXPECT_TRUE(r.exists);
+
+  Hypergraph triangle = CycleHypergraph(3);
+  r = TreeProjectionExists(triangle, triangle);
+  ASSERT_TRUE(r.decided);
+  EXPECT_FALSE(r.exists);
+}
+
+TEST(TreeProjectionTest, WitnessBagsFitTargetEdges) {
+  Hypergraph h = CycleHypergraph(6);
+  Result<Hypergraph> k2 = KFoldUnionHypergraph(h, 2);
+  ASSERT_TRUE(k2.ok());
+  TreeProjectionResult r = TreeProjectionExists(h, k2.value());
+  ASSERT_TRUE(r.decided);
+  ASSERT_TRUE(r.exists);
+  EXPECT_TRUE(r.witness.ValidateForHypergraph(h).ok());
+  for (const VertexSet& bag : r.witness.bags) {
+    bool fits = false;
+    for (const VertexSet& g : k2.value().edges()) {
+      fits = fits || bag.IsSubsetOf(g);
+    }
+    EXPECT_TRUE(fits);
+  }
+}
+
+TEST(TreeProjectionTest, GhwViaTpSoundness) {
+  // exists => ghw <= k on arbitrary instances.
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    Hypergraph h = RandomUniformHypergraph(9, 7, 3, seed);
+    ExactGhwResult exact = ExactGhw(h);
+    ASSERT_TRUE(exact.exact);
+    for (int k = 1; k <= exact.upper_bound + 1; ++k) {
+      TreeProjectionResult r = GhwAtMostViaTreeProjection(h, k);
+      if (!r.decided) continue;
+      if (r.exists) {
+        EXPECT_GE(k, exact.upper_bound)
+            << "TP witnessed width " << k << " below ghw " << exact.upper_bound;
+      }
+    }
+  }
+}
+
+TEST(TreeProjectionTest, NormalFormCoincidesWithHw) {
+  // The cover-normal-form projection w.r.t. H^[k] accepts exactly when the
+  // hypertree-width check accepts (same normal form, same guard unions).
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    Hypergraph h = RandomUniformHypergraph(9, 6, 3, seed);
+    for (int k = 1; k <= 3; ++k) {
+      TreeProjectionResult tp = GhwAtMostViaTreeProjection(h, k);
+      KDeciderResult hw = HypertreeWidthAtMost(h, k);
+      ASSERT_TRUE(tp.decided) << seed << " k=" << k;
+      ASSERT_TRUE(hw.decided) << seed << " k=" << k;
+      EXPECT_EQ(tp.exists, hw.exists) << seed << " k=" << k;
+    }
+  }
+}
+
+TEST(TreeProjectionTest, AcyclicAlwaysProjectsAtK1) {
+  Hypergraph windows = WindowPathHypergraph(10, 3, 1);
+  TreeProjectionResult r = GhwAtMostViaTreeProjection(windows, 1);
+  ASSERT_TRUE(r.decided);
+  EXPECT_TRUE(r.exists);
+}
+
+TEST(TreeProjectionTest, UndecidedOnTinyBudget) {
+  Hypergraph h = RandomUniformHypergraph(15, 12, 3, 5);
+  KDeciderOptions options;
+  options.state_budget = 1;
+  TreeProjectionResult r = GhwAtMostViaTreeProjection(h, 2, 200000, options);
+  EXPECT_FALSE(r.decided);
+}
+
+}  // namespace
+}  // namespace ghd

@@ -1,0 +1,289 @@
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "util/bitset.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/strings.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace ghd {
+namespace {
+
+TEST(VertexSetTest, StartsEmpty) {
+  VertexSet s(100);
+  EXPECT_TRUE(s.Empty());
+  EXPECT_EQ(s.Count(), 0);
+  EXPECT_EQ(s.First(), -1);
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(s.Test(i));
+}
+
+TEST(VertexSetTest, SetResetTest) {
+  VertexSet s(130);
+  s.Set(0);
+  s.Set(63);
+  s.Set(64);
+  s.Set(129);
+  EXPECT_TRUE(s.Test(0));
+  EXPECT_TRUE(s.Test(63));
+  EXPECT_TRUE(s.Test(64));
+  EXPECT_TRUE(s.Test(129));
+  EXPECT_FALSE(s.Test(1));
+  EXPECT_EQ(s.Count(), 4);
+  s.Reset(63);
+  EXPECT_FALSE(s.Test(63));
+  EXPECT_EQ(s.Count(), 3);
+}
+
+TEST(VertexSetTest, OfAndToVector) {
+  VertexSet s = VertexSet::Of(200, {5, 70, 199, 5});
+  EXPECT_EQ(s.Count(), 3);
+  EXPECT_EQ(s.ToVector(), (std::vector<int>{5, 70, 199}));
+}
+
+TEST(VertexSetTest, FullSet) {
+  VertexSet s = VertexSet::Full(67);
+  EXPECT_EQ(s.Count(), 67);
+  EXPECT_TRUE(s.Test(66));
+  EXPECT_EQ(s.First(), 0);
+}
+
+TEST(VertexSetTest, FirstNextIteration) {
+  VertexSet s = VertexSet::Of(150, {3, 64, 65, 149});
+  std::vector<int> collected;
+  for (int i = s.First(); i >= 0; i = s.Next(i)) collected.push_back(i);
+  EXPECT_EQ(collected, (std::vector<int>{3, 64, 65, 149}));
+}
+
+TEST(VertexSetTest, NextPastEnd) {
+  VertexSet s = VertexSet::Of(64, {63});
+  EXPECT_EQ(s.Next(63), -1);
+  EXPECT_EQ(s.Next(0), 63);
+}
+
+TEST(VertexSetTest, UnionIntersectionDifference) {
+  VertexSet a = VertexSet::Of(100, {1, 2, 3, 70});
+  VertexSet b = VertexSet::Of(100, {3, 4, 70, 99});
+  EXPECT_EQ((a | b).ToVector(), (std::vector<int>{1, 2, 3, 4, 70, 99}));
+  EXPECT_EQ((a & b).ToVector(), (std::vector<int>{3, 70}));
+  EXPECT_EQ((a - b).ToVector(), (std::vector<int>{1, 2}));
+}
+
+TEST(VertexSetTest, SubsetAndIntersects) {
+  VertexSet a = VertexSet::Of(80, {1, 2});
+  VertexSet b = VertexSet::Of(80, {1, 2, 3});
+  VertexSet c = VertexSet::Of(80, {4, 5});
+  EXPECT_TRUE(a.IsSubsetOf(b));
+  EXPECT_FALSE(b.IsSubsetOf(a));
+  EXPECT_TRUE(a.IsSubsetOf(a));
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_TRUE(VertexSet(80).IsSubsetOf(a));
+}
+
+TEST(VertexSetTest, IntersectCountMatchesMaterialized) {
+  VertexSet a = VertexSet::Of(100, {1, 5, 64, 65, 99});
+  VertexSet b = VertexSet::Of(100, {5, 64, 98, 99});
+  EXPECT_EQ(a.IntersectCount(b), (a & b).Count());
+  EXPECT_EQ(a.IntersectCount(b), 3);
+}
+
+TEST(VertexSetTest, EqualityAndOrdering) {
+  VertexSet a = VertexSet::Of(100, {1, 2});
+  VertexSet b = VertexSet::Of(100, {1, 2});
+  VertexSet c = VertexSet::Of(100, {1, 3});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_TRUE(a < c || c < a);
+  EXPECT_FALSE(a < b);
+}
+
+TEST(VertexSetTest, HashDistinguishesSets) {
+  std::unordered_set<VertexSet, VertexSetHash> seen;
+  // All 2-subsets of {0..19}: 190 distinct sets.
+  for (int i = 0; i < 20; ++i) {
+    for (int j = i + 1; j < 20; ++j) {
+      seen.insert(VertexSet::Of(20, {i, j}));
+    }
+  }
+  EXPECT_EQ(seen.size(), 190u);
+}
+
+TEST(VertexSetTest, ForEachVisitsAscending) {
+  VertexSet s = VertexSet::Of(300, {299, 0, 150});
+  std::vector<int> order;
+  s.ForEach([&](int v) { order.push_back(v); });
+  EXPECT_EQ(order, (std::vector<int>{0, 150, 299}));
+}
+
+TEST(VertexSetTest, ToStringRendersElements) {
+  EXPECT_EQ(VertexSet::Of(10, {1, 3}).ToString(), "{1, 3}");
+  EXPECT_EQ(VertexSet(10).ToString(), "{}");
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(7);
+  std::set<int> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int v = rng.UniformInt(10);
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, 10);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // All values hit over 1000 draws.
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(9);
+  std::set<int> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.UniformRange(3, 5));
+  EXPECT_EQ(seen, (std::set<int>{3, 4, 5}));
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(11);
+  std::vector<int> v(50);
+  for (int i = 0; i < 50; ++i) v[i] = i;
+  std::vector<int> shuffled = v;
+  rng.Shuffle(&shuffled);
+  EXPECT_NE(shuffled, v);  // Astronomically unlikely to be the identity.
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.UniformDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+  }
+}
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::ParseError("bad token");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_EQ(s.ToString(), "PARSE_ERROR: bad token");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(41);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 41);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StringsTest, TrimWhitespace) {
+  EXPECT_EQ(TrimWhitespace("  abc \t\n"), "abc");
+  EXPECT_EQ(TrimWhitespace(""), "");
+  EXPECT_EQ(TrimWhitespace("   "), "");
+  EXPECT_EQ(TrimWhitespace("x"), "x");
+}
+
+TEST(StringsTest, Split) {
+  EXPECT_EQ(Split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringsTest, SplitTrimmed) {
+  EXPECT_EQ(SplitTrimmed(" a , b ,, c ", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(StringsTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("hello", "he"));
+  EXPECT_FALSE(StartsWith("he", "hello"));
+  EXPECT_TRUE(StartsWith("x", ""));
+}
+
+TEST(StringsTest, ParseNonNegativeInt) {
+  EXPECT_EQ(ParseNonNegativeInt("123"), 123);
+  EXPECT_EQ(ParseNonNegativeInt(" 7 "), 7);
+  EXPECT_EQ(ParseNonNegativeInt("0"), 0);
+  EXPECT_EQ(ParseNonNegativeInt("-1"), -1);
+  EXPECT_EQ(ParseNonNegativeInt("12a"), -1);
+  EXPECT_EQ(ParseNonNegativeInt(""), -1);
+  EXPECT_EQ(ParseNonNegativeInt("99999999999"), -1);
+}
+
+TEST(TableTest, PrintAligned) {
+  Table t({"name", "w"});
+  t.AddRow({"grid", "4"});
+  t.AddRow({"clique_10", "5"});
+  std::ostringstream os;
+  t.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("clique_10"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2);
+}
+
+TEST(TableTest, Csv) {
+  Table t({"a", "b"});
+  t.AddRow({"1", "2"});
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TimerTest, WallTimerAdvances) {
+  WallTimer t;
+  volatile long sink = 0;
+  for (long i = 0; i < 2000000; ++i) sink = sink + i;
+  EXPECT_GT(t.ElapsedSeconds(), 0.0);
+  EXPECT_GE(t.ElapsedMillis(), t.ElapsedSeconds());  // ms >= s numerically
+  t.Restart();
+  EXPECT_LT(t.ElapsedSeconds(), 1.0);
+}
+
+TEST(TimerTest, DeadlineSemantics) {
+  Deadline unlimited;
+  EXPECT_FALSE(unlimited.Expired());
+  Deadline generous(3600.0);
+  EXPECT_FALSE(generous.Expired());
+  Deadline instant(1e-9);
+  volatile long sink = 0;
+  for (long i = 0; i < 100000; ++i) sink = sink + i;
+  EXPECT_TRUE(instant.Expired());
+}
+
+TEST(TableTest, DoubleCell) {
+  EXPECT_EQ(Table::Cell(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::Cell(7), "7");
+}
+
+}  // namespace
+}  // namespace ghd

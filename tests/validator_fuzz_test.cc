@@ -1,0 +1,154 @@
+// Failure-injection tests for the decomposition validators: starting from
+// known-valid decompositions, apply random single corruptions (drop a bag
+// vertex, drop a guard, rewire or delete a tree edge) and check the
+// validator's verdict against a ground-truth recheck. The validators are the
+// soundness backstop of every solver, so they get adversarial coverage.
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+#include "core/ghw_exact.h"
+#include "gen/random_hypergraphs.h"
+#include "gtest/gtest.h"
+#include "td/bucket_elimination.h"
+#include "td/ordering_heuristics.h"
+#include "util/rng.h"
+
+namespace ghd {
+namespace {
+
+// Reference implementation of the three GHD conditions, written
+// independently from the production validator (set-based, no early outs).
+bool ReferenceValid(const Hypergraph& h,
+                    const GeneralizedHypertreeDecomposition& ghd) {
+  const int t = ghd.num_nodes();
+  if (t == 0 || ghd.guards.size() != ghd.bags.size()) return false;
+  if (static_cast<int>(ghd.tree_edges.size()) != t - 1) return false;
+  // Tree connectivity via union-find.
+  std::vector<int> parent(t);
+  for (int i = 0; i < t; ++i) parent[i] = i;
+  std::function<int(int)> find = [&](int x) {
+    return parent[x] == x ? x : parent[x] = find(parent[x]);
+  };
+  for (const auto& [a, b] : ghd.tree_edges) {
+    if (a < 0 || b < 0 || a >= t || b >= t) return false;
+    const int ra = find(a), rb = find(b);
+    if (ra == rb) return false;  // cycle
+    parent[ra] = rb;
+  }
+  // Edge coverage.
+  for (int e = 0; e < h.num_edges(); ++e) {
+    bool inside = false;
+    for (const VertexSet& bag : ghd.bags) {
+      inside = inside || h.edge(e).IsSubsetOf(bag);
+    }
+    if (!inside) return false;
+  }
+  // chi subset of var(lambda).
+  for (int p = 0; p < t; ++p) {
+    VertexSet vars(h.num_vertices());
+    for (int e : ghd.guards[p]) {
+      if (e < 0 || e >= h.num_edges()) return false;
+      vars |= h.edge(e);
+    }
+    if (!ghd.bags[p].IsSubsetOf(vars)) return false;
+  }
+  // Connectedness per vertex: occurrences induce a connected subforest.
+  for (int v = 0; v < h.num_vertices(); ++v) {
+    std::vector<int> holders;
+    for (int p = 0; p < t; ++p) {
+      if (ghd.bags[p].Test(v)) holders.push_back(p);
+    }
+    if (holders.size() <= 1) continue;
+    std::vector<int> uf(t);
+    for (int i = 0; i < t; ++i) uf[i] = i;
+    std::function<int(int)> f2 = [&](int x) {
+      return uf[x] == x ? x : uf[x] = f2(uf[x]);
+    };
+    for (const auto& [a, b] : ghd.tree_edges) {
+      if (ghd.bags[a].Test(v) && ghd.bags[b].Test(v)) uf[f2(a)] = f2(b);
+    }
+    for (int p : holders) {
+      if (f2(p) != f2(holders[0])) return false;
+    }
+  }
+  return true;
+}
+
+GeneralizedHypertreeDecomposition Corrupt(
+    const Hypergraph& h, GeneralizedHypertreeDecomposition ghd, Rng* rng) {
+  switch (rng->UniformInt(4)) {
+    case 0: {  // drop a vertex from a random nonempty bag
+      const int p = rng->UniformInt(ghd.num_nodes());
+      const int v = ghd.bags[p].First();
+      if (v >= 0) ghd.bags[p].Reset(v);
+      break;
+    }
+    case 1: {  // drop a guard
+      const int p = rng->UniformInt(ghd.num_nodes());
+      if (!ghd.guards[p].empty()) ghd.guards[p].pop_back();
+      break;
+    }
+    case 2: {  // rewire a tree edge
+      if (!ghd.tree_edges.empty()) {
+        auto& [a, b] = ghd.tree_edges[rng->UniformInt(
+            static_cast<int>(ghd.tree_edges.size()))];
+        b = rng->UniformInt(ghd.num_nodes());
+        (void)a;
+      }
+      break;
+    }
+    case 3: {  // add a stray vertex to a bag
+      const int p = rng->UniformInt(ghd.num_nodes());
+      ghd.bags[p].Set(rng->UniformInt(h.num_vertices()));
+      break;
+    }
+  }
+  return ghd;
+}
+
+TEST(ValidatorFuzzTest, VerdictMatchesReferenceUnderCorruption) {
+  Rng rng(2024);
+  int corrupted_accepted = 0;
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    Hypergraph h = RandomUniformHypergraph(10, 8, 3, seed);
+    ExactGhwResult exact = ExactGhw(h);
+    ASSERT_TRUE(exact.exact);
+    ASSERT_TRUE(ReferenceValid(h, exact.best_ghd));
+    ASSERT_TRUE(exact.best_ghd.Validate(h).ok());
+    for (int trial = 0; trial < 40; ++trial) {
+      GeneralizedHypertreeDecomposition mutated =
+          Corrupt(h, exact.best_ghd, &rng);
+      const bool production = mutated.Validate(h).ok();
+      const bool reference = ReferenceValid(h, mutated);
+      ASSERT_EQ(production, reference)
+          << "seed " << seed << " trial " << trial;
+      if (production) ++corrupted_accepted;
+    }
+  }
+  // Most random corruptions must be caught (some mutations are harmless,
+  // e.g. adding a vertex already covered by the guards in a leaf).
+  EXPECT_LT(corrupted_accepted, 10 * 40 / 2);
+}
+
+TEST(ValidatorFuzzTest, TreeDecompositionValidatorCatchesCorruption) {
+  Rng rng(7);
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    Graph g = RandomGraph(12, 0.3, seed);
+    TreeDecomposition td = TdFromOrdering(g, MinFillOrdering(g));
+    ASSERT_TRUE(td.ValidateForGraph(g).ok());
+    int rejected = 0;
+    for (int trial = 0; trial < 30; ++trial) {
+      TreeDecomposition mutated = td;
+      const int p = rng.UniformInt(mutated.num_nodes());
+      const int v = mutated.bags[p].First();
+      if (v >= 0) mutated.bags[p].Reset(v);
+      if (!mutated.ValidateForGraph(g).ok()) ++rejected;
+    }
+    // Removing a bag vertex almost always breaks coverage or connectedness.
+    EXPECT_GT(rejected, 0) << seed;
+  }
+}
+
+}  // namespace
+}  // namespace ghd

@@ -1,0 +1,134 @@
+// ghd_cli — command-line front end for the library.
+//
+//   ghd_cli stats     <file.hg>          structural statistics + acyclicity
+//   ghd_cli bounds    <file.hg>          fast ghw lower/upper bounds
+//   ghd_cli ghw       <file.hg> [secs]   exact GHW (budgeted)
+//   ghd_cli hw        <file.hg> [states] exact hypertree width (budgeted)
+//   ghd_cli tw        <file.hg> [secs]   exact treewidth of the primal graph
+//   ghd_cli fhw       <file.hg>          fractional hypertree width upper bound
+//   ghd_cli components <file.hg>        connected components with stats
+//   ghd_cli td        <file.hg>          min-fill tree decomposition as PACE .td
+//   ghd_cli decompose <file.hg>          best GHD found, as Graphviz DOT
+//
+// Files use the HyperBench / detkdecomp .hg format.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/ghw_exact.h"
+#include "core/ghw_lower.h"
+#include "core/fractional.h"
+#include "core/ghw_upper.h"
+#include "htd/det_k_decomp.h"
+#include "hypergraph/acyclicity.h"
+#include "hypergraph/components.h"
+#include "hypergraph/dot_export.h"
+#include "hypergraph/hg_io.h"
+#include "hypergraph/stats.h"
+#include "td/bucket_elimination.h"
+#include "td/exact_treewidth.h"
+#include "td/pace_io.h"
+#include "td/ordering_heuristics.h"
+
+namespace {
+
+int Usage() {
+  std::cerr << "usage: ghd_cli <stats|bounds|ghw|hw|tw|fhw|components|td|decompose>\n               <file.hg> "
+               "[budget]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ghd;
+  if (argc < 3) return Usage();
+  const std::string command = argv[1];
+  Result<Hypergraph> parsed = LoadHg(argv[2]);
+  if (!parsed.ok()) {
+    std::cerr << "error: " << parsed.status().ToString() << "\n";
+    return 1;
+  }
+  const Hypergraph& h = parsed.value();
+  const double budget = argc > 3 ? std::atof(argv[3]) : 30.0;
+
+  if (command == "stats") {
+    std::cout << StatsToString(ComputeStats(h)) << "\n";
+    std::cout << (IsAlphaAcyclic(h) ? "alpha-acyclic (ghw = 1)"
+                                    : "cyclic (ghw >= 2)")
+              << "\n";
+    return 0;
+  }
+  if (command == "bounds") {
+    GhwUpperBoundResult ub = GhwUpperBoundMultiRestart(h, 8, 1, CoverMode::kExact);
+    std::cout << "ghw lower bound: " << GhwLowerBound(h) << "\n";
+    std::cout << "ghw upper bound: " << ub.width << "\n";
+    return 0;
+  }
+  if (command == "ghw") {
+    ExactGhwOptions options;
+    options.time_limit_seconds = budget;
+    ExactGhwResult r = ExactGhwComponentwise(h, options);
+    if (r.exact) {
+      std::cout << "ghw = " << r.upper_bound << "\n";
+    } else {
+      std::cout << "ghw in [" << r.lower_bound << ", " << r.upper_bound
+                << "] (budget reached)\n";
+    }
+    return 0;
+  }
+  if (command == "hw") {
+    KDeciderOptions options;
+    options.state_budget = argc > 3 ? std::atol(argv[3]) : 2000000;
+    HypertreeWidthResult r = HypertreeWidth(h, 0, options);
+    if (r.exact) {
+      std::cout << "hw = " << r.width << "\n";
+    } else {
+      std::cout << "hw > " << r.last_failed_k << " (budget reached)\n";
+    }
+    return 0;
+  }
+  if (command == "fhw") {
+    const Rational fhw = FhwUpperBound(h, OrderingHeuristic::kMinFill);
+    std::cout << "fhw <= " << fhw.ToString() << "\n";
+    return 0;
+  }
+  if (command == "tw") {
+    ExactTreewidthOptions options;
+    options.time_limit_seconds = budget;
+    ExactTreewidthResult r = ExactTreewidth(h.PrimalGraph(), options);
+    if (r.exact) {
+      std::cout << "tw = " << r.upper_bound << "\n";
+    } else {
+      std::cout << "tw in [" << r.lower_bound << ", " << r.upper_bound
+                << "] (budget reached)\n";
+    }
+    return 0;
+  }
+  if (command == "td") {
+    const Graph primal = h.PrimalGraph();
+    TreeDecomposition td = TdFromOrdering(primal, MinFillOrdering(primal));
+    std::cout << WritePaceTreeDecomposition(td, primal.num_vertices());
+    std::cerr << "width " << td.Width() << " (min-fill heuristic)\n";
+    return 0;
+  }
+  if (command == "components") {
+    const auto parts = SplitIntoComponents(h);
+    std::cout << parts.size() << " connected component(s)\n";
+    for (size_t p = 0; p < parts.size(); ++p) {
+      std::cout << "  [" << p << "] "
+                << StatsToString(ComputeStats(parts[p])) << "\n";
+    }
+    return 0;
+  }
+  if (command == "decompose") {
+    ExactGhwOptions options;
+    options.time_limit_seconds = budget;
+    ExactGhwResult r = ExactGhw(h, options);
+    std::cout << GhdToDot(h, r.best_ghd);
+    std::cerr << "width " << r.best_ghd.Width()
+              << (r.exact ? " (optimal)" : " (best found)") << "\n";
+    return 0;
+  }
+  return Usage();
+}

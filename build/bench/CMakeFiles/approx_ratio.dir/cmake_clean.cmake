@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approx_ratio.dir/approx_ratio.cc.o"
+  "CMakeFiles/approx_ratio.dir/approx_ratio.cc.o.d"
+  "CMakeFiles/approx_ratio.dir/suite.cc.o"
+  "CMakeFiles/approx_ratio.dir/suite.cc.o.d"
+  "approx_ratio"
+  "approx_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approx_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bip_tractable.cc" "bench/CMakeFiles/bip_tractable.dir/bip_tractable.cc.o" "gcc" "bench/CMakeFiles/bip_tractable.dir/bip_tractable.cc.o.d"
+  "/root/repo/bench/suite.cc" "bench/CMakeFiles/bip_tractable.dir/suite.cc.o" "gcc" "bench/CMakeFiles/bip_tractable.dir/suite.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ghd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bip_tractable.dir/bip_tractable.cc.o"
+  "CMakeFiles/bip_tractable.dir/bip_tractable.cc.o.d"
+  "CMakeFiles/bip_tractable.dir/suite.cc.o"
+  "CMakeFiles/bip_tractable.dir/suite.cc.o.d"
+  "bip_tractable"
+  "bip_tractable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bip_tractable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bip_tractable.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bounded_degree.dir/bounded_degree.cc.o"
+  "CMakeFiles/bounded_degree.dir/bounded_degree.cc.o.d"
+  "CMakeFiles/bounded_degree.dir/suite.cc.o"
+  "CMakeFiles/bounded_degree.dir/suite.cc.o.d"
+  "bounded_degree"
+  "bounded_degree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bounded_degree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csp_solving.dir/csp_solving.cc.o"
+  "CMakeFiles/csp_solving.dir/csp_solving.cc.o.d"
+  "CMakeFiles/csp_solving.dir/suite.cc.o"
+  "CMakeFiles/csp_solving.dir/suite.cc.o.d"
+  "csp_solving"
+  "csp_solving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csp_solving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

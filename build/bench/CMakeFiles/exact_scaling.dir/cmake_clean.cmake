@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exact_scaling.dir/exact_scaling.cc.o"
+  "CMakeFiles/exact_scaling.dir/exact_scaling.cc.o.d"
+  "CMakeFiles/exact_scaling.dir/suite.cc.o"
+  "CMakeFiles/exact_scaling.dir/suite.cc.o.d"
+  "exact_scaling"
+  "exact_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exact_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

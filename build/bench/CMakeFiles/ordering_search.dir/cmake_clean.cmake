@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ordering_search.dir/ordering_search.cc.o"
+  "CMakeFiles/ordering_search.dir/ordering_search.cc.o.d"
+  "CMakeFiles/ordering_search.dir/suite.cc.o"
+  "CMakeFiles/ordering_search.dir/suite.cc.o.d"
+  "ordering_search"
+  "ordering_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ordering_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

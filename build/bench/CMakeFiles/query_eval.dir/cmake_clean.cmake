@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_eval.dir/query_eval.cc.o"
+  "CMakeFiles/query_eval.dir/query_eval.cc.o.d"
+  "CMakeFiles/query_eval.dir/suite.cc.o"
+  "CMakeFiles/query_eval.dir/suite.cc.o.d"
+  "query_eval"
+  "query_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/setcover_ablation.dir/setcover_ablation.cc.o"
+  "CMakeFiles/setcover_ablation.dir/setcover_ablation.cc.o.d"
+  "CMakeFiles/setcover_ablation.dir/suite.cc.o"
+  "CMakeFiles/setcover_ablation.dir/suite.cc.o.d"
+  "setcover_ablation"
+  "setcover_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/setcover_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_projection_bench.dir/suite.cc.o"
+  "CMakeFiles/tree_projection_bench.dir/suite.cc.o.d"
+  "CMakeFiles/tree_projection_bench.dir/tree_projection_bench.cc.o"
+  "CMakeFiles/tree_projection_bench.dir/tree_projection_bench.cc.o.d"
+  "tree_projection_bench"
+  "tree_projection_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_projection_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

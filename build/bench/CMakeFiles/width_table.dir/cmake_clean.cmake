@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/width_table.dir/suite.cc.o"
+  "CMakeFiles/width_table.dir/suite.cc.o.d"
+  "CMakeFiles/width_table.dir/width_table.cc.o"
+  "CMakeFiles/width_table.dir/width_table.cc.o.d"
+  "width_table"
+  "width_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/width_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

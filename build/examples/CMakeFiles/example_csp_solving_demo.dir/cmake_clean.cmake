@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_csp_solving_demo.dir/csp_solving_demo.cpp.o"
+  "CMakeFiles/example_csp_solving_demo.dir/csp_solving_demo.cpp.o.d"
+  "example_csp_solving_demo"
+  "example_csp_solving_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_csp_solving_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

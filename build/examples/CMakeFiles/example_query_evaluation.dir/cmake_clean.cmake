@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_query_evaluation.dir/query_evaluation.cpp.o"
+  "CMakeFiles/example_query_evaluation.dir/query_evaluation.cpp.o.d"
+  "example_query_evaluation"
+  "example_query_evaluation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_query_evaluation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_tractable_frontier.dir/tractable_frontier.cpp.o"
+  "CMakeFiles/example_tractable_frontier.dir/tractable_frontier.cpp.o.d"
+  "example_tractable_frontier"
+  "example_tractable_frontier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_tractable_frontier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_width_analysis.dir/width_analysis.cpp.o"
+  "CMakeFiles/example_width_analysis.dir/width_analysis.cpp.o.d"
+  "example_width_analysis"
+  "example_width_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_width_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

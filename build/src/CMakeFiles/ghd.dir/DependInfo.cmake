@@ -1,0 +1,69 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bip.cc" "src/CMakeFiles/ghd.dir/core/bip.cc.o" "gcc" "src/CMakeFiles/ghd.dir/core/bip.cc.o.d"
+  "/root/repo/src/core/fractional.cc" "src/CMakeFiles/ghd.dir/core/fractional.cc.o" "gcc" "src/CMakeFiles/ghd.dir/core/fractional.cc.o.d"
+  "/root/repo/src/core/ghd.cc" "src/CMakeFiles/ghd.dir/core/ghd.cc.o" "gcc" "src/CMakeFiles/ghd.dir/core/ghd.cc.o.d"
+  "/root/repo/src/core/ghw_dp.cc" "src/CMakeFiles/ghd.dir/core/ghw_dp.cc.o" "gcc" "src/CMakeFiles/ghd.dir/core/ghw_dp.cc.o.d"
+  "/root/repo/src/core/ghw_exact.cc" "src/CMakeFiles/ghd.dir/core/ghw_exact.cc.o" "gcc" "src/CMakeFiles/ghd.dir/core/ghw_exact.cc.o.d"
+  "/root/repo/src/core/ghw_lower.cc" "src/CMakeFiles/ghd.dir/core/ghw_lower.cc.o" "gcc" "src/CMakeFiles/ghd.dir/core/ghw_lower.cc.o.d"
+  "/root/repo/src/core/ghw_upper.cc" "src/CMakeFiles/ghd.dir/core/ghw_upper.cc.o" "gcc" "src/CMakeFiles/ghd.dir/core/ghw_upper.cc.o.d"
+  "/root/repo/src/core/k_decider.cc" "src/CMakeFiles/ghd.dir/core/k_decider.cc.o" "gcc" "src/CMakeFiles/ghd.dir/core/k_decider.cc.o.d"
+  "/root/repo/src/core/tree_projection.cc" "src/CMakeFiles/ghd.dir/core/tree_projection.cc.o" "gcc" "src/CMakeFiles/ghd.dir/core/tree_projection.cc.o.d"
+  "/root/repo/src/csp/backtracking.cc" "src/CMakeFiles/ghd.dir/csp/backtracking.cc.o" "gcc" "src/CMakeFiles/ghd.dir/csp/backtracking.cc.o.d"
+  "/root/repo/src/csp/bucket_solver.cc" "src/CMakeFiles/ghd.dir/csp/bucket_solver.cc.o" "gcc" "src/CMakeFiles/ghd.dir/csp/bucket_solver.cc.o.d"
+  "/root/repo/src/csp/csp.cc" "src/CMakeFiles/ghd.dir/csp/csp.cc.o" "gcc" "src/CMakeFiles/ghd.dir/csp/csp.cc.o.d"
+  "/root/repo/src/csp/enumerate.cc" "src/CMakeFiles/ghd.dir/csp/enumerate.cc.o" "gcc" "src/CMakeFiles/ghd.dir/csp/enumerate.cc.o.d"
+  "/root/repo/src/csp/join_tree.cc" "src/CMakeFiles/ghd.dir/csp/join_tree.cc.o" "gcc" "src/CMakeFiles/ghd.dir/csp/join_tree.cc.o.d"
+  "/root/repo/src/csp/problems.cc" "src/CMakeFiles/ghd.dir/csp/problems.cc.o" "gcc" "src/CMakeFiles/ghd.dir/csp/problems.cc.o.d"
+  "/root/repo/src/csp/query.cc" "src/CMakeFiles/ghd.dir/csp/query.cc.o" "gcc" "src/CMakeFiles/ghd.dir/csp/query.cc.o.d"
+  "/root/repo/src/csp/relation.cc" "src/CMakeFiles/ghd.dir/csp/relation.cc.o" "gcc" "src/CMakeFiles/ghd.dir/csp/relation.cc.o.d"
+  "/root/repo/src/csp/sat.cc" "src/CMakeFiles/ghd.dir/csp/sat.cc.o" "gcc" "src/CMakeFiles/ghd.dir/csp/sat.cc.o.d"
+  "/root/repo/src/csp/yannakakis.cc" "src/CMakeFiles/ghd.dir/csp/yannakakis.cc.o" "gcc" "src/CMakeFiles/ghd.dir/csp/yannakakis.cc.o.d"
+  "/root/repo/src/gen/circuits.cc" "src/CMakeFiles/ghd.dir/gen/circuits.cc.o" "gcc" "src/CMakeFiles/ghd.dir/gen/circuits.cc.o.d"
+  "/root/repo/src/gen/generators.cc" "src/CMakeFiles/ghd.dir/gen/generators.cc.o" "gcc" "src/CMakeFiles/ghd.dir/gen/generators.cc.o.d"
+  "/root/repo/src/gen/random_hypergraphs.cc" "src/CMakeFiles/ghd.dir/gen/random_hypergraphs.cc.o" "gcc" "src/CMakeFiles/ghd.dir/gen/random_hypergraphs.cc.o.d"
+  "/root/repo/src/gen/sat_gen.cc" "src/CMakeFiles/ghd.dir/gen/sat_gen.cc.o" "gcc" "src/CMakeFiles/ghd.dir/gen/sat_gen.cc.o.d"
+  "/root/repo/src/graph/dimacs.cc" "src/CMakeFiles/ghd.dir/graph/dimacs.cc.o" "gcc" "src/CMakeFiles/ghd.dir/graph/dimacs.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/CMakeFiles/ghd.dir/graph/graph.cc.o" "gcc" "src/CMakeFiles/ghd.dir/graph/graph.cc.o.d"
+  "/root/repo/src/htd/det_k_decomp.cc" "src/CMakeFiles/ghd.dir/htd/det_k_decomp.cc.o" "gcc" "src/CMakeFiles/ghd.dir/htd/det_k_decomp.cc.o.d"
+  "/root/repo/src/htd/hypertree_decomposition.cc" "src/CMakeFiles/ghd.dir/htd/hypertree_decomposition.cc.o" "gcc" "src/CMakeFiles/ghd.dir/htd/hypertree_decomposition.cc.o.d"
+  "/root/repo/src/hypergraph/acyclicity.cc" "src/CMakeFiles/ghd.dir/hypergraph/acyclicity.cc.o" "gcc" "src/CMakeFiles/ghd.dir/hypergraph/acyclicity.cc.o.d"
+  "/root/repo/src/hypergraph/components.cc" "src/CMakeFiles/ghd.dir/hypergraph/components.cc.o" "gcc" "src/CMakeFiles/ghd.dir/hypergraph/components.cc.o.d"
+  "/root/repo/src/hypergraph/dot_export.cc" "src/CMakeFiles/ghd.dir/hypergraph/dot_export.cc.o" "gcc" "src/CMakeFiles/ghd.dir/hypergraph/dot_export.cc.o.d"
+  "/root/repo/src/hypergraph/hg_io.cc" "src/CMakeFiles/ghd.dir/hypergraph/hg_io.cc.o" "gcc" "src/CMakeFiles/ghd.dir/hypergraph/hg_io.cc.o.d"
+  "/root/repo/src/hypergraph/hypergraph.cc" "src/CMakeFiles/ghd.dir/hypergraph/hypergraph.cc.o" "gcc" "src/CMakeFiles/ghd.dir/hypergraph/hypergraph.cc.o.d"
+  "/root/repo/src/hypergraph/hypergraph_builder.cc" "src/CMakeFiles/ghd.dir/hypergraph/hypergraph_builder.cc.o" "gcc" "src/CMakeFiles/ghd.dir/hypergraph/hypergraph_builder.cc.o.d"
+  "/root/repo/src/hypergraph/reduce.cc" "src/CMakeFiles/ghd.dir/hypergraph/reduce.cc.o" "gcc" "src/CMakeFiles/ghd.dir/hypergraph/reduce.cc.o.d"
+  "/root/repo/src/hypergraph/stats.cc" "src/CMakeFiles/ghd.dir/hypergraph/stats.cc.o" "gcc" "src/CMakeFiles/ghd.dir/hypergraph/stats.cc.o.d"
+  "/root/repo/src/lp/simplex.cc" "src/CMakeFiles/ghd.dir/lp/simplex.cc.o" "gcc" "src/CMakeFiles/ghd.dir/lp/simplex.cc.o.d"
+  "/root/repo/src/search/local_search.cc" "src/CMakeFiles/ghd.dir/search/local_search.cc.o" "gcc" "src/CMakeFiles/ghd.dir/search/local_search.cc.o.d"
+  "/root/repo/src/setcover/set_cover.cc" "src/CMakeFiles/ghd.dir/setcover/set_cover.cc.o" "gcc" "src/CMakeFiles/ghd.dir/setcover/set_cover.cc.o.d"
+  "/root/repo/src/td/bucket_elimination.cc" "src/CMakeFiles/ghd.dir/td/bucket_elimination.cc.o" "gcc" "src/CMakeFiles/ghd.dir/td/bucket_elimination.cc.o.d"
+  "/root/repo/src/td/exact_treewidth.cc" "src/CMakeFiles/ghd.dir/td/exact_treewidth.cc.o" "gcc" "src/CMakeFiles/ghd.dir/td/exact_treewidth.cc.o.d"
+  "/root/repo/src/td/lower_bounds.cc" "src/CMakeFiles/ghd.dir/td/lower_bounds.cc.o" "gcc" "src/CMakeFiles/ghd.dir/td/lower_bounds.cc.o.d"
+  "/root/repo/src/td/ordering_heuristics.cc" "src/CMakeFiles/ghd.dir/td/ordering_heuristics.cc.o" "gcc" "src/CMakeFiles/ghd.dir/td/ordering_heuristics.cc.o.d"
+  "/root/repo/src/td/pace_io.cc" "src/CMakeFiles/ghd.dir/td/pace_io.cc.o" "gcc" "src/CMakeFiles/ghd.dir/td/pace_io.cc.o.d"
+  "/root/repo/src/td/tree_decomposition.cc" "src/CMakeFiles/ghd.dir/td/tree_decomposition.cc.o" "gcc" "src/CMakeFiles/ghd.dir/td/tree_decomposition.cc.o.d"
+  "/root/repo/src/td/treewidth_dp.cc" "src/CMakeFiles/ghd.dir/td/treewidth_dp.cc.o" "gcc" "src/CMakeFiles/ghd.dir/td/treewidth_dp.cc.o.d"
+  "/root/repo/src/util/bitset.cc" "src/CMakeFiles/ghd.dir/util/bitset.cc.o" "gcc" "src/CMakeFiles/ghd.dir/util/bitset.cc.o.d"
+  "/root/repo/src/util/rational.cc" "src/CMakeFiles/ghd.dir/util/rational.cc.o" "gcc" "src/CMakeFiles/ghd.dir/util/rational.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/CMakeFiles/ghd.dir/util/rng.cc.o" "gcc" "src/CMakeFiles/ghd.dir/util/rng.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/ghd.dir/util/status.cc.o" "gcc" "src/CMakeFiles/ghd.dir/util/status.cc.o.d"
+  "/root/repo/src/util/strings.cc" "src/CMakeFiles/ghd.dir/util/strings.cc.o" "gcc" "src/CMakeFiles/ghd.dir/util/strings.cc.o.d"
+  "/root/repo/src/util/table.cc" "src/CMakeFiles/ghd.dir/util/table.cc.o" "gcc" "src/CMakeFiles/ghd.dir/util/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

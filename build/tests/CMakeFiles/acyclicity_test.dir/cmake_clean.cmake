@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acyclicity_test.dir/acyclicity_test.cc.o"
+  "CMakeFiles/acyclicity_test.dir/acyclicity_test.cc.o.d"
+  "acyclicity_test"
+  "acyclicity_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acyclicity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

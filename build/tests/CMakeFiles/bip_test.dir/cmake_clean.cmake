@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bip_test.dir/bip_test.cc.o"
+  "CMakeFiles/bip_test.dir/bip_test.cc.o.d"
+  "bip_test"
+  "bip_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bucket_solver_test.dir/bucket_solver_test.cc.o"
+  "CMakeFiles/bucket_solver_test.dir/bucket_solver_test.cc.o.d"
+  "bucket_solver_test"
+  "bucket_solver_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bucket_solver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enumerate_io_test.dir/enumerate_io_test.cc.o"
+  "CMakeFiles/enumerate_io_test.dir/enumerate_io_test.cc.o.d"
+  "enumerate_io_test"
+  "enumerate_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enumerate_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ghd_test.dir/ghd_test.cc.o"
+  "CMakeFiles/ghd_test.dir/ghd_test.cc.o.d"
+  "ghd_test"
+  "ghd_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ghd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ghw_exact_test.dir/ghw_exact_test.cc.o"
+  "CMakeFiles/ghw_exact_test.dir/ghw_exact_test.cc.o.d"
+  "ghw_exact_test"
+  "ghw_exact_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ghw_exact_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_families_test.dir/graph_families_test.cc.o"
+  "CMakeFiles/graph_families_test.dir/graph_families_test.cc.o.d"
+  "graph_families_test"
+  "graph_families_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_families_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

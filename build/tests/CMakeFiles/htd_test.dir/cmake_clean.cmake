@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htd_test.dir/htd_test.cc.o"
+  "CMakeFiles/htd_test.dir/htd_test.cc.o.d"
+  "htd_test"
+  "htd_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

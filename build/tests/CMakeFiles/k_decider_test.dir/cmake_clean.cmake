@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/k_decider_test.dir/k_decider_test.cc.o"
+  "CMakeFiles/k_decider_test.dir/k_decider_test.cc.o.d"
+  "k_decider_test"
+  "k_decider_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/k_decider_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

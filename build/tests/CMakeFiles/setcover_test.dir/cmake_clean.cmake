@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/setcover_test.dir/setcover_test.cc.o"
+  "CMakeFiles/setcover_test.dir/setcover_test.cc.o.d"
+  "setcover_test"
+  "setcover_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/setcover_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

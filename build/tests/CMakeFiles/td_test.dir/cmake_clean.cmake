@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/td_test.dir/td_test.cc.o"
+  "CMakeFiles/td_test.dir/td_test.cc.o.d"
+  "td_test"
+  "td_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/td_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_projection_test.dir/tree_projection_test.cc.o"
+  "CMakeFiles/tree_projection_test.dir/tree_projection_test.cc.o.d"
+  "tree_projection_test"
+  "tree_projection_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_projection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ghd_cli.dir/ghd_cli.cc.o"
+  "CMakeFiles/ghd_cli.dir/ghd_cli.cc.o.d"
+  "ghd_cli"
+  "ghd_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ghd_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_stats "/root/repo/build/tools/ghd_cli" "stats" "/root/repo/data/example.hg")
+set_tests_properties(cli_stats PROPERTIES  PASS_REGULAR_EXPRESSION "cyclic" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_bounds "/root/repo/build/tools/ghd_cli" "bounds" "/root/repo/data/example.hg")
+set_tests_properties(cli_bounds PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_ghw "/root/repo/build/tools/ghd_cli" "ghw" "/root/repo/data/adder_4.hg" "20")
+set_tests_properties(cli_ghw PROPERTIES  PASS_REGULAR_EXPRESSION "ghw = 2" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_hw "/root/repo/build/tools/ghd_cli" "hw" "/root/repo/data/triangle.hg")
+set_tests_properties(cli_hw PROPERTIES  PASS_REGULAR_EXPRESSION "hw = 2" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_tw "/root/repo/build/tools/ghd_cli" "tw" "/root/repo/data/grid3x3.hg" "20")
+set_tests_properties(cli_tw PROPERTIES  PASS_REGULAR_EXPRESSION "tw = 3" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_fhw "/root/repo/build/tools/ghd_cli" "fhw" "/root/repo/data/bridge_3.hg")
+set_tests_properties(cli_fhw PROPERTIES  PASS_REGULAR_EXPRESSION "fhw <= 3/2" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_components "/root/repo/build/tools/ghd_cli" "components" "/root/repo/data/acyclic_star.hg")
+set_tests_properties(cli_components PROPERTIES  PASS_REGULAR_EXPRESSION "1 connected component" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_td "/root/repo/build/tools/ghd_cli" "td" "/root/repo/data/grid3x3.hg")
+set_tests_properties(cli_td PROPERTIES  PASS_REGULAR_EXPRESSION "s td " _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_decompose "/root/repo/build/tools/ghd_cli" "decompose" "/root/repo/data/triangle.hg")
+set_tests_properties(cli_decompose PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_usage_error "/root/repo/build/tools/ghd_cli")
+set_tests_properties(cli_usage_error PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_missing_file "/root/repo/build/tools/ghd_cli" "stats" "/nonexistent.hg")
+set_tests_properties(cli_missing_file PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")

@@ -1,6 +1,11 @@
 #include "suite.h"
 
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <thread>
 
 #include "gen/circuits.h"
 #include "gen/generators.h"
@@ -78,6 +83,62 @@ bool WantFull(int argc, char** argv) {
     if (std::strcmp(argv[i], "--full") == 0) return true;
   }
   return false;
+}
+
+int ThreadsArg(int argc, char** argv, int fallback) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      return std::atoi(argv[i + 1]);
+    }
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      return std::atoi(argv[i] + 10);
+    }
+  }
+  return fallback;
+}
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+void WriteBenchJson(const std::string& bench_name, bool full,
+                    const std::vector<BenchRecord>& records) {
+  const std::string path = "BENCH_" + bench_name + ".json";
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"bench\": \"" << JsonEscape(bench_name) << "\",\n"
+      << "  \"full\": " << (full ? "true" : "false") << ",\n"
+      << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
+      << ",\n"
+      << "  \"records\": [\n";
+  for (size_t i = 0; i < records.size(); ++i) {
+    const BenchRecord& r = records[i];
+    out << "    {\"instance\": \"" << JsonEscape(r.instance) << "\", "
+        << "\"wall_ms\": " << r.wall_ms << ", "
+        << "\"states\": " << r.states << ", "
+        << "\"threads\": " << r.threads;
+    for (const auto& [key, value] : r.extra) {
+      out << ", \"" << JsonEscape(key) << "\": " << value;
+    }
+    out << "}" << (i + 1 < records.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::ofstream file(path);
+  file << out.str();
+  if (!file) {
+    std::cerr << "warning: could not write " << path << "\n";
+  } else {
+    std::cout << "\nwrote " << path << " (" << records.size() << " records)\n";
+  }
 }
 
 }  // namespace bench

@@ -5,6 +5,7 @@
 #define GHD_BENCH_SUITE_H_
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "hypergraph/hypergraph.h"
@@ -26,6 +27,26 @@ std::vector<NamedInstance> ExactSuite(bool full);
 
 /// True when argv contains "--full".
 bool WantFull(int argc, char** argv);
+
+/// Value of "--threads N" / "--threads=N" in argv, or `fallback`.
+int ThreadsArg(int argc, char** argv, int fallback = 1);
+
+/// One machine-readable measurement row: an instance run at a thread count.
+/// `extra` holds additional fields; values are emitted verbatim into the
+/// JSON, so pass valid literals ("2", "true", "\"grid\"").
+struct BenchRecord {
+  std::string instance;
+  double wall_ms = 0;
+  long states = 0;
+  int threads = 1;
+  std::vector<std::pair<std::string, std::string>> extra;
+};
+
+/// Writes BENCH_<bench_name>.json in the working directory: run metadata
+/// (bench name, --full flag, hardware thread count) plus every record. The
+/// perf trajectory of the solvers is tracked from these files.
+void WriteBenchJson(const std::string& bench_name, bool full,
+                    const std::vector<BenchRecord>& records);
 
 }  // namespace bench
 }  // namespace ghd

@@ -1,0 +1,106 @@
+// Suite harness — the parallel decomposition engine on the standard families.
+//
+// Runs the width-k decider (hypertree width via det-k-decomp normal form) on
+// every StandardSuite instance at several thread counts, checks that the
+// computed width is identical at every count, and reports per-instance
+// wall-clock, states explored, and speedup. Also measures the bench fan-out:
+// the whole suite dispatched across the pool, one instance per task.
+//
+// Results land in BENCH_suite.json (see suite.h); pass --full for the larger
+// sizes and --threads N to set the top thread count (default: hardware).
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "htd/det_k_decomp.h"
+#include "suite.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace ghd;
+  const bool full = bench::WantFull(argc, argv);
+  const int max_threads = ThreadPool::EffectiveThreads(
+      bench::ThreadsArg(argc, argv, /*fallback=*/0));
+  // Thread counts swept: 1 (sequential baseline), then doubling up to the
+  // requested/hardware maximum, always including the maximum itself.
+  std::vector<int> thread_counts{1};
+  for (int t = 2; t < max_threads; t *= 2) thread_counts.push_back(t);
+  if (max_threads > 1) thread_counts.push_back(max_threads);
+
+  // States cap per decision so the table stays interactive; undecided runs
+  // are reported as such.
+  const long budget = full ? 5000000 : 500000;
+
+  std::cout << "suite: parallel width-k decider on the standard families\n"
+            << "       (identical widths required at every thread count)\n\n";
+
+  std::vector<bench::NamedInstance> suite = bench::StandardSuite(full);
+  std::vector<bench::BenchRecord> records;
+  Table table({"instance", "n", "m", "threads", "hw", "ms", "states",
+               "speedup_vs_1t"});
+  bool widths_agree = true;
+
+  for (const auto& [name, h] : suite) {
+    double base_ms = 0;
+    int base_width = -2;
+    for (int threads : thread_counts) {
+      KDeciderOptions options;
+      options.state_budget = budget;
+      options.num_threads = threads;
+      WallTimer t;
+      HypertreeWidthResult r = HypertreeWidth(h, 0, options);
+      const double ms = t.ElapsedMillis();
+      const int width = r.exact ? r.width : -1;  // -1 = budget-undecided
+      if (threads == 1) {
+        base_ms = ms;
+        base_width = width;
+      } else if (width != base_width) {
+        widths_agree = false;
+      }
+      table.AddRow({name, Table::Cell(h.num_vertices()),
+                    Table::Cell(h.num_edges()), Table::Cell(threads),
+                    r.exact ? Table::Cell(r.width) : "-",
+                    Table::Cell(ms, 2),
+                    Table::Cell(static_cast<int>(r.states_visited)),
+                    threads == 1 ? "-" : Table::Cell(base_ms / ms, 2)});
+      bench::BenchRecord record;
+      record.instance = name;
+      record.wall_ms = ms;
+      record.states = r.states_visited;
+      record.threads = threads;
+      record.extra.emplace_back("width", std::to_string(width));
+      record.extra.emplace_back("decided", r.exact ? "true" : "false");
+      records.push_back(std::move(record));
+    }
+  }
+  table.Print(std::cout);
+
+  // Bench fan-out: the whole suite dispatched across the pool, one task per
+  // instance — the serving-style throughput number.
+  for (int threads : {1, max_threads}) {
+    ThreadPool pool(threads);
+    WallTimer t;
+    ParallelFor(&pool, 0, static_cast<int>(suite.size()), [&](int i) {
+      KDeciderOptions options;
+      options.state_budget = budget;
+      HypertreeWidth(suite[i].hypergraph, 0, options);
+    });
+    const double ms = t.ElapsedMillis();
+    std::cout << "\nfan-out: whole suite at " << threads << " thread(s): "
+              << ms << " ms";
+    bench::BenchRecord record;
+    record.instance = "_suite_fanout";
+    record.wall_ms = ms;
+    record.threads = threads;
+    records.push_back(std::move(record));
+    if (threads == max_threads) break;  // max_threads may be 1
+  }
+
+  std::cout << "\n\nresult: widths "
+            << (widths_agree ? "identical" : "DIFFER (BUG)")
+            << " across thread counts.\n";
+  bench::WriteBenchJson("suite", full, records);
+  return widths_agree ? 0 : 1;
+}

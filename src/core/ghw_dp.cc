@@ -3,16 +3,18 @@
 #include <algorithm>
 #include <bit>
 #include <cstdint>
-#include <unordered_map>
+#include <memory>
 #include <vector>
 
 #include "setcover/set_cover.h"
 #include "td/treewidth_dp.h"
 #include "util/check.h"
+#include "util/striped_map.h"
+#include "util/thread_pool.h"
 
 namespace ghd {
 
-std::optional<int> GhwBySubsetDp(const Hypergraph& h) {
+std::optional<int> GhwBySubsetDp(const Hypergraph& h, int num_threads) {
   const int n = h.num_vertices();
   if (n > kMaxGhwDpVertices) return std::nullopt;
   if (n == 0 || h.num_edges() == 0) return 0;
@@ -21,14 +23,12 @@ std::optional<int> GhwBySubsetDp(const Hypergraph& h) {
   const VertexSet covered = h.CoveredVertices();
   const uint32_t full = (uint32_t{1} << n) - 1;
   std::vector<uint8_t> dp(static_cast<size_t>(full) + 1, 0);
-  std::unordered_map<VertexSet, int, VertexSetHash> cover_cache;
+  StripedMap<VertexSet, int, VertexSetHash> cover_cache;
   auto cover_cost = [&](const VertexSet& bag) {
-    auto it = cover_cache.find(bag);
-    if (it != cover_cache.end()) return it->second;
+    if (const int* hit = cover_cache.Find(bag)) return *hit;
     auto size = ExactSetCoverSize(bag, h.edges());
     GHD_CHECK(size.has_value());
-    cover_cache.emplace(bag, *size);
-    return *size;
+    return *cover_cache.Insert(bag, *size);
   };
   auto to_vertexset = [n](uint32_t mask) {
     VertexSet s(n);
@@ -37,8 +37,7 @@ std::optional<int> GhwBySubsetDp(const Hypergraph& h) {
     }
     return s;
   };
-
-  for (uint32_t mask = 1; mask <= full; ++mask) {
+  auto solve_mask = [&](uint32_t mask) {
     int best = h.num_edges() + 1;
     for (uint32_t bits = mask; bits != 0; bits &= bits - 1) {
       const int v = std::countr_zero(bits);
@@ -52,6 +51,26 @@ std::optional<int> GhwBySubsetDp(const Hypergraph& h) {
     }
     GHD_CHECK(best <= 255);
     dp[mask] = static_cast<uint8_t>(best);
+  };
+
+  const int threads = ThreadPool::EffectiveThreads(num_threads);
+  if (threads <= 1) {
+    for (uint32_t mask = 1; mask <= full; ++mask) solve_mask(mask);
+    return static_cast<int>(dp[full]);
+  }
+
+  // Parallel schedule: dp[mask] depends only on masks with one fewer bit, so
+  // masks grouped by popcount form layers with no intra-layer dependencies.
+  ThreadPool pool(threads);
+  std::vector<std::vector<uint32_t>> layers(n + 1);
+  for (uint32_t mask = 1; mask <= full; ++mask) {
+    layers[std::popcount(mask)].push_back(mask);
+  }
+  for (int c = 1; c <= n; ++c) {
+    const std::vector<uint32_t>& layer = layers[c];
+    ParallelFor(
+        &pool, 0, static_cast<int>(layer.size()),
+        [&](int i) { solve_mask(layer[i]); }, /*grain=*/16);
   }
   return static_cast<int>(dp[full]);
 }

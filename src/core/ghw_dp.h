@@ -18,8 +18,11 @@ namespace ghd {
 inline constexpr int kMaxGhwDpVertices = 22;
 
 /// Exact ghw(H) via the subset DP; nullopt when the vertex count exceeds
-/// kMaxGhwDpVertices.
-std::optional<int> GhwBySubsetDp(const Hypergraph& h);
+/// kMaxGhwDpVertices. With `num_threads` > 1 the DP runs layer by layer
+/// (masks grouped by popcount, each layer a parallel loop over the pool);
+/// <= 0 uses all hardware threads. The result is identical at every thread
+/// count — the DP has no search-order dependence.
+std::optional<int> GhwBySubsetDp(const Hypergraph& h, int num_threads = 1);
 
 }  // namespace ghd
 

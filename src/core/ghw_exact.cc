@@ -1,76 +1,127 @@
 #include "core/ghw_exact.h"
 
 #include <algorithm>
-#include <unordered_map>
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <utility>
 
 #include "core/ghw_lower.h"
-#include "hypergraph/components.h"
 #include "core/ghw_upper.h"
+#include "hypergraph/components.h"
 #include "setcover/set_cover.h"
 #include "td/lower_bounds.h"
 #include "util/check.h"
+#include "util/striped_map.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace ghd {
 namespace {
 
-struct Search {
+// State shared by every branch task of one exact-GHW search: the incumbent
+// (atomic upper bound + mutex-guarded witness ordering), the budget counters,
+// and the striped exact-cover memo. Branch tasks own their elimination prefix
+// and residual graph; everything here is concurrency-safe.
+struct Shared {
   const Hypergraph* h;
   VertexSet covered;  // Vertices that occur in some hyperedge.
   ExactGhwOptions options;
   Deadline deadline;
-  bool out_of_budget = false;
-  bool hit_stop_width = false;
-  long nodes = 0;
+  ThreadPool* pool = nullptr;
 
-  int ub = 0;
-  std::vector<int> best_ordering;
+  std::atomic<long> nodes{0};
+  std::atomic<bool> out_of_budget{false};
+  std::atomic<bool> hit_stop_width{false};
+  std::atomic<int> ub{0};
+  std::mutex best_mu;
+  std::vector<int> best_ordering;  // guarded by best_mu
+
+  // Exact cover sizes are reused heavily across branches (the same bag shows
+  // up under many prefixes), so they are memoized search-wide.
+  StripedMap<VertexSet, int, VertexSetHash> cover_cache;
+
+  int Ub() const { return ub.load(std::memory_order_relaxed); }
+
+  // Candidate edges for covering `target`: only edges meeting it matter, and
+  // the incidence bitsets find them word-parallel instead of scanning all
+  // hyperedges inside the cover solvers.
+  std::vector<VertexSet> CoverCandidates(const VertexSet& target) const {
+    std::vector<VertexSet> candidates;
+    h->EdgesIntersecting(target).ForEach(
+        [&](int e) { candidates.push_back(h->edge(e)); });
+    return candidates;
+  }
+
+  int ExactCoverSize(const VertexSet& bag) {
+    if (const int* hit = cover_cache.Find(bag)) return *hit;
+    auto size = ExactSetCoverSize(bag, CoverCandidates(bag));
+    GHD_CHECK(size.has_value());
+    return *cover_cache.Insert(bag, *size);
+  }
+
+  bool ShouldStop() {
+    if (options.stop_at_width > 0 && Ub() <= options.stop_at_width) {
+      hit_stop_width.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    const long n = nodes.fetch_add(1, std::memory_order_relaxed) + 1;
+    if ((options.node_budget > 0 && n > options.node_budget) ||
+        ((n & 127) == 0 && deadline.Expired())) {
+      out_of_budget.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return out_of_budget.load(std::memory_order_relaxed) ||
+           hit_stop_width.load(std::memory_order_relaxed);
+  }
+
+  void RecordSolution(int width, std::vector<int> ordering) {
+    std::lock_guard<std::mutex> lock(best_mu);
+    if (width < ub.load(std::memory_order_relaxed)) {
+      ub.store(width, std::memory_order_relaxed);
+      best_ordering = std::move(ordering);
+    }
+  }
+};
+
+// One branch of the search: elimination prefix, alive set, and the residual
+// primal graph handed to Recurse. Cheap to clone at the parallel fork.
+struct Search {
+  Shared* s;
   std::vector<int> prefix;
   std::vector<char> alive;
   int alive_count = 0;
 
-  // Exact cover sizes are reused heavily across branches (the same bag shows
-  // up under many prefixes), so they are memoized for the whole search.
-  std::unordered_map<VertexSet, int, VertexSetHash> cover_cache;
-
-  int ExactCoverSize(const VertexSet& bag) {
-    auto it = cover_cache.find(bag);
-    if (it != cover_cache.end()) return it->second;
-    auto size = ExactSetCoverSize(bag, h->edges());
-    GHD_CHECK(size.has_value());
-    cover_cache.emplace(bag, *size);
-    return *size;
-  }
-
-  bool ShouldStop() {
-    if (options.stop_at_width > 0 && ub <= options.stop_at_width) {
-      hit_stop_width = true;
-      return true;
-    }
-    if ((options.node_budget > 0 && nodes > options.node_budget) ||
-        ((nodes & 127) == 0 && deadline.Expired())) {
-      out_of_budget = true;
-      return true;
-    }
-    return false;
-  }
-
   void AcceptSolution(int width, const Graph& g) {
-    ub = width;
-    best_ordering = prefix;
+    std::vector<int> ordering = prefix;
     for (int v = 0; v < g.num_vertices(); ++v) {
-      if (alive[v]) best_ordering.push_back(v);
+      if (alive[v]) ordering.push_back(v);
     }
+    s->RecordSolution(width, std::move(ordering));
+  }
+
+  void EliminateInto(Graph* g, int v) {
+    g->EliminateVertex(v);
+    prefix.push_back(v);
+    alive[v] = 0;
+    --alive_count;
+  }
+
+  void UndoEliminate(int v) {
+    ++alive_count;
+    alive[v] = 1;
+    prefix.pop_back();
   }
 
   // g = primal graph with the prefix eliminated; width_so_far = max exact
-  // cover size of the bags closed so far on this path.
-  void Recurse(const Graph& g, int width_so_far) {
-    ++nodes;
-    if (ShouldStop()) return;
+  // cover size of the bags closed so far on this path. `depth` counts real
+  // branch levels: at depth 0 with a pool, sibling branches fork as tasks
+  // sharing the incumbent for pruning.
+  void Recurse(const Graph& g, int width_so_far, int depth) {
+    if (s->ShouldStop()) return;
 
     if (alive_count == 0) {
-      if (width_so_far < ub) AcceptSolution(width_so_far, g);
+      if (width_so_far < s->Ub()) AcceptSolution(width_so_far, g);
       return;
     }
 
@@ -80,39 +131,34 @@ struct Search {
     for (int v = 0; v < g.num_vertices(); ++v) {
       if (alive[v]) remaining.Set(v);
     }
-    remaining &= covered;
-    const int rest_cost =
-        static_cast<int>(GreedySetCover(remaining, h->edges()).size());
+    remaining &= s->covered;
+    const int rest_cost = static_cast<int>(
+        GreedySetCover(remaining, s->CoverCandidates(remaining)).size());
     const int finish_now = std::max(width_so_far, rest_cost);
-    if (finish_now < ub) AcceptSolution(finish_now, g);
+    if (finish_now < s->Ub()) AcceptSolution(finish_now, g);
     if (rest_cost <= width_so_far) return;  // Subtree can't beat finish-now.
 
     // Node lower bound: tw bound on the residual graph, converted through
     // the k-set-cover combination.
     const int tw_lb = MinorMinWidthLowerBound(g);
-    const int node_lb = GhwLowerBoundFromTwBound(*h, tw_lb);
-    if (std::max(width_so_far, node_lb) >= ub) return;
+    const int node_lb = GhwLowerBoundFromTwBound(*s->h, tw_lb);
+    if (std::max(width_so_far, node_lb) >= s->Ub()) return;
 
     // Simplicial reduction: eliminating a simplicial vertex first never
     // increases the best achievable cover-width of the subtree.
-    if (options.use_simplicial_reduction) {
+    if (s->options.use_simplicial_reduction) {
       for (int v = 0; v < g.num_vertices(); ++v) {
         if (!alive[v] || !g.IsSimplicial(v)) continue;
         VertexSet bag = g.Neighbors(v);
         bag.Set(v);
-        bag &= covered;
-        const int cost = ExactCoverSize(bag);
+        bag &= s->covered;
+        const int cost = s->ExactCoverSize(bag);
         const int next_width = std::max(width_so_far, cost);
-        if (next_width >= ub) return;
+        if (next_width >= s->Ub()) return;
         Graph next = g;
-        next.EliminateVertex(v);
-        prefix.push_back(v);
-        alive[v] = 0;
-        --alive_count;
-        Recurse(next, next_width);
-        ++alive_count;
-        alive[v] = 1;
-        prefix.pop_back();
+        EliminateInto(&next, v);
+        Recurse(next, next_width, depth);  // No branching: same depth.
+        UndoEliminate(v);
         return;
       }
     }
@@ -123,81 +169,122 @@ struct Search {
       if (!alive[v]) continue;
       VertexSet bag = g.Neighbors(v);
       bag.Set(v);
-      bag &= covered;
-      order.emplace_back(ExactCoverSize(bag), v);
+      bag &= s->covered;
+      order.emplace_back(s->ExactCoverSize(bag), v);
     }
     std::sort(order.begin(), order.end());
+
+    if (depth == 0 && s->pool != nullptr && s->pool->parallel() &&
+        order.size() > 1) {
+      // Fork the root branches: each task clones this search, eliminates its
+      // vertex, and explores sequentially. The shared incumbent keeps the
+      // bound tight across tasks. Reverse submission: LIFO own-pop lets the
+      // helping waiter take the cheapest branch first, so good incumbents
+      // land early and prune the stolen tail.
+      TaskGroup group(s->pool);
+      for (size_t b = order.size(); b-- > 0;) {
+        const auto [cost, v] = order[b];
+        const int next_width = std::max(width_so_far, cost);
+        group.Run([this, &g, v = v, next_width] {
+          if (next_width >= s->Ub()) return;
+          if (s->out_of_budget.load(std::memory_order_relaxed) ||
+              s->hit_stop_width.load(std::memory_order_relaxed)) {
+            return;
+          }
+          Search branch;
+          branch.s = s;
+          branch.prefix = prefix;
+          branch.alive = alive;
+          branch.alive_count = alive_count;
+          Graph next = g;
+          branch.EliminateInto(&next, v);
+          branch.Recurse(next, next_width, 1);
+        });
+      }
+      group.Wait();
+      return;
+    }
+
     for (const auto& [cost, v] : order) {
       const int next_width = std::max(width_so_far, cost);
-      if (next_width >= ub) continue;
+      if (next_width >= s->Ub()) continue;
       Graph next = g;
-      next.EliminateVertex(v);
-      prefix.push_back(v);
-      alive[v] = 0;
-      --alive_count;
-      Recurse(next, next_width);
-      ++alive_count;
-      alive[v] = 1;
-      prefix.pop_back();
-      if (out_of_budget || hit_stop_width) return;
+      EliminateInto(&next, v);
+      Recurse(next, next_width, depth + 1);
+      UndoEliminate(v);
+      if (s->out_of_budget.load(std::memory_order_relaxed) ||
+          s->hit_stop_width.load(std::memory_order_relaxed)) {
+        return;
+      }
     }
   }
 };
 
-}  // namespace
-
-ExactGhwResult ExactGhw(const Hypergraph& h, const ExactGhwOptions& options) {
+ExactGhwResult ExactGhwImpl(const Hypergraph& h, const ExactGhwOptions& options,
+                            ThreadPool* pool) {
   ExactGhwResult result;
   if (h.num_edges() == 0 || h.num_vertices() == 0) {
     result.exact = true;
     return result;
   }
 
-  Search search;
-  search.h = &h;
-  search.covered = h.CoveredVertices();
-  search.options = options;
-  search.deadline = Deadline(options.time_limit_seconds);
+  Shared shared;
+  shared.h = &h;
+  shared.covered = h.CoveredVertices();
+  shared.options = options;
+  shared.deadline = Deadline(options.time_limit_seconds);
+  shared.pool = pool;
   const Graph primal = h.PrimalGraph();
-  search.alive.assign(primal.num_vertices(), 1);
-  search.alive_count = primal.num_vertices();
 
   // Incumbent from randomized heuristics with exact covers.
   GhwUpperBoundResult warm = GhwUpperBoundMultiRestart(
       h, std::max(1, options.heuristic_restarts), options.seed,
       CoverMode::kExact);
-  search.ub = warm.width;
-  search.best_ordering.clear();
+  shared.ub.store(warm.width, std::memory_order_relaxed);
 
   const int root_lb = GhwLowerBound(h);
-  if (root_lb >= search.ub ||
-      (options.stop_at_width > 0 && search.ub <= options.stop_at_width)) {
+  if (root_lb >= warm.width ||
+      (options.stop_at_width > 0 && warm.width <= options.stop_at_width)) {
     result.lower_bound = root_lb;
-    result.upper_bound = search.ub;
-    result.exact = root_lb >= search.ub;
+    result.upper_bound = warm.width;
+    result.exact = root_lb >= warm.width;
     result.best_ordering = std::move(warm.ordering);
     result.best_ghd = std::move(warm.ghd);
     return result;
   }
 
-  search.Recurse(primal, 0);
+  Search root;
+  root.s = &shared;
+  root.alive.assign(primal.num_vertices(), 1);
+  root.alive_count = primal.num_vertices();
+  root.Recurse(primal, 0, 0);
 
-  result.upper_bound = search.ub;
-  result.nodes_visited = search.nodes;
-  result.exact = !search.out_of_budget && !search.hit_stop_width;
-  result.lower_bound = result.exact ? search.ub : root_lb;
-  if (search.best_ordering.empty()) {
+  result.upper_bound = shared.Ub();
+  result.nodes_visited = shared.nodes.load(std::memory_order_relaxed);
+  result.exact = !shared.out_of_budget.load(std::memory_order_relaxed) &&
+                 !shared.hit_stop_width.load(std::memory_order_relaxed);
+  result.lower_bound = result.exact ? result.upper_bound : root_lb;
+  if (shared.best_ordering.empty()) {
     result.best_ordering = std::move(warm.ordering);
     result.best_ghd = std::move(warm.ghd);
   } else {
-    result.best_ordering = search.best_ordering;
+    result.best_ordering = shared.best_ordering;
     GhwUpperBoundResult witness =
-        GhwFromOrdering(h, search.best_ordering, CoverMode::kExact);
+        GhwFromOrdering(h, shared.best_ordering, CoverMode::kExact);
     GHD_CHECK(witness.width <= result.upper_bound);
     result.upper_bound = witness.width;
     result.best_ghd = std::move(witness.ghd);
   }
   return result;
+}
+
+}  // namespace
+
+ExactGhwResult ExactGhw(const Hypergraph& h, const ExactGhwOptions& options) {
+  const int threads = ThreadPool::EffectiveThreads(options.num_threads);
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+  return ExactGhwImpl(h, options, pool.get());
 }
 
 ExactGhwResult ExactGhwComponentwise(const Hypergraph& h,
@@ -207,12 +294,29 @@ ExactGhwResult ExactGhwComponentwise(const Hypergraph& h,
   const std::vector<Hypergraph> parts = SplitIntoComponents(h);
   GHD_CHECK(parts.size() == groups.size());
 
+  const int threads = ThreadPool::EffectiveThreads(options.num_threads);
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+
+  // Solve the components concurrently (they are independent searches), then
+  // stitch in deterministic component order.
+  std::vector<ExactGhwResult> part_results(parts.size());
+  {
+    TaskGroup group(pool.get());
+    for (size_t p = 0; p < parts.size(); ++p) {
+      group.Run([&, p] {
+        part_results[p] = ExactGhwImpl(parts[p], options, pool.get());
+      });
+    }
+    group.Wait();
+  }
+
   ExactGhwResult combined;
   combined.exact = true;
   VertexSet ordered(h.num_vertices());
   int previous_root = -1;
   for (size_t p = 0; p < parts.size(); ++p) {
-    ExactGhwResult part = ExactGhw(parts[p], options);
+    ExactGhwResult& part = part_results[p];
     combined.exact = combined.exact && part.exact;
     combined.lower_bound = std::max(combined.lower_bound, part.lower_bound);
     combined.upper_bound = std::max(combined.upper_bound, part.upper_bound);

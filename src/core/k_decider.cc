@@ -1,10 +1,15 @@
 #include "core/k_decider.h"
 
 #include <algorithm>
-#include <unordered_map>
+#include <atomic>
+#include <memory>
+#include <mutex>
 #include <utility>
+#include <vector>
 
 #include "util/check.h"
+#include "util/striped_map.h"
+#include "util/thread_pool.h"
 
 namespace ghd {
 namespace {
@@ -27,7 +32,8 @@ struct StateKeyHash {
 };
 
 // Memoized decision per state; successful states remember their bag, guard
-// choice, and child states for decomposition reconstruction.
+// choice, and child states for decomposition reconstruction. Values are
+// immutable once inserted into the shared memo.
 struct StateValue {
   bool exists = false;
   VertexSet chi;
@@ -35,27 +41,65 @@ struct StateValue {
   std::vector<StateKey> children;
 };
 
+// Cancellation scope for speculative branches: OR-forks fire their token when
+// a sibling guard choice wins, AND-forks when a sibling component fails.
+// Tokens chain to the enclosing scope, so one walk covers every ancestor
+// fork. Memoizing a *false* result is forbidden while any ancestor token is
+// set (the failure may stem from truncation, not from the search space);
+// *true* results are always complete witnesses and always memoizable.
+struct CancelToken {
+  explicit CancelToken(const CancelToken* parent = nullptr) : parent(parent) {}
+
+  bool Cancelled() const {
+    for (const CancelToken* t = this; t != nullptr; t = t->parent) {
+      if (t->flag.load(std::memory_order_relaxed)) return true;
+    }
+    return false;
+  }
+  void Fire() { flag.store(true, std::memory_order_relaxed); }
+
+  std::atomic<bool> flag{false};
+  const CancelToken* parent;
+};
+
+// Forks only spawn pool tasks this many fork-levels deep; below the ceiling
+// each branch runs sequentially inside its task. Branching factors are the
+// guard-candidate counts, so this exposes ample parallelism while bounding
+// task counts and the help-while-waiting stack.
+constexpr int kMaxForkDepth = 6;
+
 struct Decider {
   const Hypergraph* h;
   const GuardFamily* family;
   int k;
   KDeciderOptions options;
-  long states = 0;
-  bool out_of_budget = false;
+  ThreadPool* pool = nullptr;  // null => deterministic sequential engine
 
-  std::unordered_map<StateKey, StateValue, StateKeyHash> memo;
+  std::atomic<long> states{0};
+  std::atomic<bool> out_of_budget{false};
+  StripedMap<StateKey, StateValue, StateKeyHash> memo;
 
   bool Budget() {
-    ++states;
-    if (options.state_budget > 0 && states > options.state_budget) {
-      out_of_budget = true;
-      return false;
+    const long s = states.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (options.state_budget > 0 && s > options.state_budget) {
+      out_of_budget.store(true, std::memory_order_relaxed);
     }
-    return true;
+    return !out_of_budget.load(std::memory_order_relaxed);
+  }
+
+  bool OutOfBudget() const {
+    return out_of_budget.load(std::memory_order_relaxed);
+  }
+
+  bool ShouldFork(int depth, size_t branches) const {
+    return pool != nullptr && pool->parallel() && depth < kMaxForkDepth &&
+           branches >= 2;
   }
 
   // Splits `edges_left` into connected blocks, treating vertices in `chi` as
   // removed: two edges are connected when they share a vertex outside chi.
+  // Word-parallel BFS: expanding an edge unions the incidence bitsets of its
+  // open vertices and intersects against the unseen set, no per-edge rescans.
   std::vector<VertexSet> SplitComponents(const VertexSet& edges_left,
                                          const VertexSet& chi) const {
     std::vector<VertexSet> parts;
@@ -73,16 +117,11 @@ struct Decider {
         stack.pop_back();
         VertexSet open = h->edge(e);
         open -= chi;
-        // Find unseen edges sharing a vertex of `open`.
-        std::vector<int> found;
-        unseen.ForEach([&](int f) {
-          if (h->edge(f).Intersects(open)) found.push_back(f);
-        });
-        for (int f : found) {
-          unseen.Reset(f);
-          part.Set(f);
-          stack.push_back(f);
-        }
+        VertexSet adj = h->EdgesIntersecting(open);
+        adj &= unseen;
+        part |= adj;
+        unseen -= adj;
+        adj.ForEach([&](int f) { stack.push_back(f); });
       }
       parts.push_back(std::move(part));
     }
@@ -96,9 +135,11 @@ struct Decider {
   }
 
   // Evaluates one complete guard choice; fills `value` and returns true on
-  // success.
+  // success. Child components are decided in parallel under the fork ceiling
+  // (AND-parallel: the first failing sibling cancels the rest).
   bool TryLambda(const StateKey& key, const VertexSet& v_comp,
-                 const std::vector<int>& lambda, StateValue* value) {
+                 const std::vector<int>& lambda, const CancelToken* cancel,
+                 int depth, StateValue* value) {
     VertexSet chi(h->num_vertices());
     for (int g : lambda) chi |= family->guards[g];
     chi &= v_comp;
@@ -106,13 +147,12 @@ struct Decider {
     // Edges of the component fully inside chi are covered here.
     VertexSet rem = key.comp;
     bool covered_any = false;
-    std::vector<int> comp_edges = key.comp.ToVector();
-    for (int e : comp_edges) {
+    key.comp.ForEach([&](int e) {
       if (h->edge(e).IsSubsetOf(chi)) {
         rem.Reset(e);
         covered_any = true;
       }
-    }
+    });
     std::vector<VertexSet> parts = SplitComponents(rem, chi);
     // Progress rule: every child block must be strictly smaller than the
     // current component; otherwise this guard choice loops.
@@ -126,9 +166,32 @@ struct Decider {
       conn &= chi;
       children.push_back(StateKey{std::move(part), std::move(conn)});
     }
-    for (const StateKey& child : children) {
-      if (!Decide(child)) return false;
-      if (out_of_budget) return false;
+    if (ShouldFork(depth, children.size())) {
+      CancelToken sibling_failed(cancel);
+      std::atomic<bool> all_ok{true};
+      TaskGroup group(pool);
+      // Reverse submission, as in EnumerateLambdaParallel: LIFO own-pop
+      // makes the helping waiter take the children in order.
+      for (size_t c = children.size(); c-- > 0;) {
+        const StateKey& child = children[c];
+        group.Run([this, &child, &sibling_failed, &all_ok, depth] {
+          if (sibling_failed.Cancelled() || OutOfBudget()) {
+            all_ok.store(false, std::memory_order_relaxed);
+            return;
+          }
+          if (!Decide(child, &sibling_failed, depth + 1)) {
+            all_ok.store(false, std::memory_order_relaxed);
+            sibling_failed.Fire();
+          }
+        });
+      }
+      group.Wait();
+      if (!all_ok.load(std::memory_order_relaxed)) return false;
+    } else {
+      for (const StateKey& child : children) {
+        if (!Decide(child, cancel, depth)) return false;
+        if (OutOfBudget()) return false;
+      }
     }
     value->exists = true;
     value->chi = std::move(chi);
@@ -142,11 +205,13 @@ struct Decider {
   bool EnumerateLambda(const StateKey& key, const VertexSet& v_comp,
                        const std::vector<int>& candidates, size_t from,
                        std::vector<int>* lambda, const VertexSet& conn_left,
+                       const CancelToken* cancel, int depth,
                        StateValue* value) {
+    if (cancel->Cancelled()) return false;
     if (!Budget()) return false;  // Bound the subset enumeration itself.
     if (!lambda->empty() && conn_left.Empty()) {
-      if (TryLambda(key, v_comp, *lambda, value)) return true;
-      if (out_of_budget) return false;
+      if (TryLambda(key, v_comp, *lambda, cancel, depth, value)) return true;
+      if (OutOfBudget()) return false;
     }
     if (static_cast<int>(lambda->size()) == k) return false;
     for (size_t i = from; i < candidates.size(); ++i) {
@@ -155,18 +220,70 @@ struct Decider {
       VertexSet next_conn = conn_left;
       next_conn -= family->guards[g];
       if (EnumerateLambda(key, v_comp, candidates, i + 1, lambda, next_conn,
-                          value)) {
+                          cancel, depth, value)) {
         return true;
       }
       lambda->pop_back();
-      if (out_of_budget) return false;
+      if (OutOfBudget() || cancel->Cancelled()) return false;
     }
     return false;
   }
 
-  bool Decide(const StateKey& key) {
-    auto it = memo.find(key);
-    if (it != memo.end()) return it->second.exists;
+  // OR-parallel guard branching: the subset enumeration tree is partitioned
+  // by the first chosen guard. The heuristically-first partition runs inline
+  // on the calling thread — when it succeeds (the common case) nothing is
+  // speculated and the state count matches the sequential search. Only on
+  // its failure do the remaining partitions fork, racing to the first
+  // complete success, which cancels the losing siblings.
+  bool EnumerateLambdaParallel(const StateKey& key, const VertexSet& v_comp,
+                               const std::vector<int>& candidates,
+                               const CancelToken* cancel, int depth,
+                               StateValue* out) {
+    if (!Budget()) return false;  // The enumeration root, as in sequential.
+    auto try_partition = [this, &key, &v_comp, &candidates, depth](
+                             size_t i, const CancelToken* token,
+                             StateValue* value) {
+      const int g = candidates[i];
+      std::vector<int> lambda(1, g);
+      VertexSet conn_left = key.conn;
+      conn_left -= family->guards[g];
+      return EnumerateLambda(key, v_comp, candidates, i + 1, &lambda,
+                             conn_left, token, depth + 1, value);
+    };
+    if (try_partition(0, cancel, out)) return true;
+    if (candidates.size() <= 1 || OutOfBudget() || cancel->Cancelled()) {
+      return false;
+    }
+    CancelToken winner_found(cancel);
+    std::mutex mu;
+    bool found = false;
+    StateValue win;
+    TaskGroup group(pool);
+    // Reverse submission: the own-queue pop is LIFO, so the helping waiter
+    // explores the partitions in heuristic order while steals take the tail.
+    for (size_t i = candidates.size(); i-- > 1;) {
+      group.Run([this, &try_partition, &winner_found, &mu, &found, &win, i] {
+        if (winner_found.Cancelled() || OutOfBudget()) return;
+        StateValue value;
+        if (try_partition(i, &winner_found, &value)) {
+          std::lock_guard<std::mutex> lock(mu);
+          if (!found) {
+            found = true;
+            win = std::move(value);
+          }
+          winner_found.Fire();
+        }
+      });
+    }
+    group.Wait();
+    if (!found) return false;
+    *out = std::move(win);
+    return true;
+  }
+
+  bool Decide(const StateKey& key, const CancelToken* cancel, int depth) {
+    if (const StateValue* hit = memo.Find(key)) return hit->exists;
+    if (cancel->Cancelled()) return false;
     if (!Budget()) return false;
 
     const VertexSet v_comp = VerticesOf(key.comp);
@@ -176,25 +293,41 @@ struct Decider {
       if (family->guards[g].Intersects(v_comp)) candidates.push_back(g);
     }
     StateValue value;
-    std::vector<int> lambda;
-    const bool ok = EnumerateLambda(key, v_comp, candidates, 0, &lambda,
-                                    key.conn, &value);
-    if (out_of_budget) return false;
-    value.exists = ok;
-    memo.emplace(key, std::move(value));
-    return ok;
+    bool ok;
+    if (ShouldFork(depth, candidates.size())) {
+      ok = EnumerateLambdaParallel(key, v_comp, candidates, cancel, depth,
+                                   &value);
+    } else {
+      std::vector<int> lambda;
+      ok = EnumerateLambda(key, v_comp, candidates, 0, &lambda, key.conn,
+                           cancel, depth, &value);
+    }
+    if (ok) {
+      // Successes are complete witnesses regardless of cancellation or
+      // budget state: memoize unconditionally, so every true child a parent
+      // references is resident for reconstruction.
+      value.exists = true;
+      memo.Insert(key, std::move(value));
+      return true;
+    }
+    // A false under cancellation or exhausted budget may be a truncated
+    // search, not a refutation: never cache it.
+    if (OutOfBudget() || cancel->Cancelled()) return false;
+    value.exists = false;
+    memo.Insert(key, std::move(value));
+    return false;
   }
 
   // Rebuilds the decomposition tree for a successful root state; returns the
   // index of the subtree root in `out`.
   int Reconstruct(const StateKey& key,
                   GeneralizedHypertreeDecomposition* out) {
-    const StateValue& value = memo.at(key);
-    GHD_CHECK(value.exists);
+    const StateValue* value = memo.Find(key);
+    GHD_CHECK(value != nullptr && value->exists);
     const int node = out->num_nodes();
-    out->bags.push_back(value.chi);
+    out->bags.push_back(value->chi);
     std::vector<int> edge_ids;
-    for (int g : value.lambda) {
+    for (int g : value->lambda) {
       const int parent = family->parent_edge[g];
       if (parent >= 0 && std::find(edge_ids.begin(), edge_ids.end(), parent) ==
                              edge_ids.end()) {
@@ -202,7 +335,7 @@ struct Decider {
       }
     }
     out->guards.push_back(std::move(edge_ids));
-    for (const StateKey& child : value.children) {
+    for (const StateKey& child : value->children) {
       const int child_node = Reconstruct(child, out);
       out->tree_edges.emplace_back(node, child_node);
     }
@@ -240,28 +373,34 @@ KDeciderResult DecideWidthK(const Hypergraph& h, const GuardFamily& family,
     return result;
   }
 
+  const int threads = ThreadPool::EffectiveThreads(options.num_threads);
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+
   Decider decider;
   decider.h = &h;
   decider.family = &family;
   decider.k = k;
   decider.options = options;
+  decider.pool = pool.get();
 
   // Root components of all edges with an empty separator.
   std::vector<VertexSet> roots =
       decider.SplitComponents(VertexSet::Full(h.num_edges()),
                               VertexSet(h.num_vertices()));
+  CancelToken root_scope;  // never fires: the root search runs to completion
   std::vector<StateKey> root_keys;
   bool all_ok = true;
   for (VertexSet& comp : roots) {
     StateKey key{std::move(comp), VertexSet(h.num_vertices())};
-    if (!decider.Decide(key)) {
+    if (!decider.Decide(key, &root_scope, 0)) {
       all_ok = false;
       break;
     }
     root_keys.push_back(std::move(key));
   }
-  result.states_visited = decider.states;
-  if (decider.out_of_budget) {
+  result.states_visited = decider.states.load(std::memory_order_relaxed);
+  if (decider.OutOfBudget()) {
     result.decided = false;
     return result;
   }

@@ -45,11 +45,16 @@ struct GuardFamily {
 /// The trivial family: the hyperedges of h themselves.
 GuardFamily OriginalEdgesFamily(const Hypergraph& h);
 
-/// Budget for the decider.
+/// Budget and parallelism knobs for the decider.
 struct KDeciderOptions {
   /// Limit on visited (component, connector) states plus λ evaluations;
   /// <= 0 means unlimited.
   long state_budget = 0;
+  /// Executors for the search: 1 (default) runs the deterministic sequential
+  /// engine, n > 1 runs the work-stealing parallel engine on n threads,
+  /// <= 0 uses every hardware thread. The decision (exists / width) is the
+  /// same at every thread count; the witness tree may differ.
+  int num_threads = 1;
 };
 
 /// Outcome. When `decided && exists`, `decomposition` holds the found tree

@@ -6,27 +6,25 @@ namespace ghd {
 
 std::vector<std::vector<int>> ConnectedEdgeComponents(const Hypergraph& h) {
   const int m = h.num_edges();
-  std::vector<int> component_of(m, -1);
+  // Word-parallel BFS over edge-id bitsets: expanding an edge intersects its
+  // incidence union against the unseen set, whole words at a time.
+  VertexSet unseen = VertexSet::Full(m);
   std::vector<std::vector<int>> components;
   std::vector<int> stack;
   for (int start = 0; start < m; ++start) {
-    if (component_of[start] >= 0) continue;
-    const int id = static_cast<int>(components.size());
+    if (!unseen.Test(start)) continue;
     components.emplace_back();
-    component_of[start] = id;
+    std::vector<int>& group = components.back();
+    unseen.Reset(start);
     stack.assign(1, start);
     while (!stack.empty()) {
       const int e = stack.back();
       stack.pop_back();
-      components[id].push_back(e);
-      h.edge(e).ForEach([&](int v) {
-        for (int f : h.EdgesContaining(v)) {
-          if (component_of[f] < 0) {
-            component_of[f] = id;
-            stack.push_back(f);
-          }
-        }
-      });
+      group.push_back(e);
+      VertexSet adj = h.EdgesIntersecting(h.edge(e));
+      adj &= unseen;
+      unseen -= adj;
+      adj.ForEach([&](int f) { stack.push_back(f); });
     }
   }
   return components;

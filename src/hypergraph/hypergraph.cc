@@ -18,8 +18,12 @@ Hypergraph::Hypergraph(std::vector<std::string> vertex_names,
   vertex_ids_.reserve(vertex_names_.size());
   for (int v = 0; v < n; ++v) vertex_ids_[vertex_names_[v]] = v;
   incidence_.assign(n, {});
+  incident_edges_.assign(n, VertexSet(num_edges()));
   for (int e = 0; e < num_edges(); ++e) {
-    edges_[e].ForEach([&](int v) { incidence_[v].push_back(e); });
+    edges_[e].ForEach([&](int v) {
+      incidence_[v].push_back(e);
+      incident_edges_[v].Set(e);
+    });
   }
 }
 
@@ -32,6 +36,12 @@ VertexSet Hypergraph::UnionOfEdges(const std::vector<int>& edge_ids) const {
   VertexSet u(num_vertices());
   for (int e : edge_ids) u |= edges_[e];
   return u;
+}
+
+VertexSet Hypergraph::EdgesIntersecting(const VertexSet& vs) const {
+  VertexSet ids(num_edges());
+  vs.ForEach([&](int v) { ids |= incident_edges_[v]; });
+  return ids;
 }
 
 VertexSet Hypergraph::CoveredVertices() const {

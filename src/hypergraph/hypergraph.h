@@ -38,6 +38,15 @@ class Hypergraph {
     return incidence_[v];
   }
 
+  /// Edge ids containing vertex v, as a bitset over {0, ..., num_edges-1}.
+  /// Precomputed at construction; the word-parallel dual of EdgesContaining,
+  /// used by component splitting and cover-candidate filtering.
+  const VertexSet& IncidentEdges(int v) const { return incident_edges_[v]; }
+
+  /// Ids of all edges containing at least one vertex of `vs` (a union of
+  /// incidence bitsets, whole words at a time).
+  VertexSet EdgesIntersecting(const VertexSet& vs) const;
+
   /// Union of the vertex sets of the edges listed in `edge_ids`.
   VertexSet UnionOfEdges(const std::vector<int>& edge_ids) const;
 
@@ -68,6 +77,7 @@ class Hypergraph {
   std::vector<VertexSet> edges_;
   std::unordered_map<std::string, int> vertex_ids_;
   std::vector<std::vector<int>> incidence_;
+  std::vector<VertexSet> incident_edges_;  // per vertex, universe num_edges
 };
 
 }  // namespace ghd

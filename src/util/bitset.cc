@@ -62,18 +62,21 @@ std::vector<int> VertexSet::ToVector() const {
 VertexSet& VertexSet::operator|=(const VertexSet& o) {
   GHD_DCHECK(size_ == o.size_);
   for (size_t i = 0; i < words_.size(); ++i) words_[i] |= o.words_[i];
+  InvalidateHash();
   return *this;
 }
 
 VertexSet& VertexSet::operator&=(const VertexSet& o) {
   GHD_DCHECK(size_ == o.size_);
   for (size_t i = 0; i < words_.size(); ++i) words_[i] &= o.words_[i];
+  InvalidateHash();
   return *this;
 }
 
 VertexSet& VertexSet::operator-=(const VertexSet& o) {
   GHD_DCHECK(size_ == o.size_);
   for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~o.words_[i];
+  InvalidateHash();
   return *this;
 }
 
@@ -111,6 +114,8 @@ int VertexSet::IntersectCount(const VertexSet& o) const {
 }
 
 uint64_t VertexSet::Hash() const {
+  const uint64_t cached = hash_cache_.load(std::memory_order_relaxed);
+  if (cached != 0) return cached;
   // FNV-1a over the words plus the universe size.
   uint64_t h = 14695981039346656037ull;
   auto mix = [&h](uint64_t v) {
@@ -119,6 +124,8 @@ uint64_t VertexSet::Hash() const {
   };
   mix(static_cast<uint64_t>(size_));
   for (uint64_t w : words_) mix(w);
+  if (h == 0) h = 0x9e3779b97f4a7c15ull;  // 0 is the "not computed" sentinel.
+  hash_cache_.store(h, std::memory_order_relaxed);
   return h;
 }
 

@@ -5,9 +5,11 @@
 #ifndef GHD_UTIL_BITSET_H_
 #define GHD_UTIL_BITSET_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "util/check.h"
@@ -26,6 +28,31 @@ class VertexSet {
     GHD_CHECK(universe_size >= 0);
   }
 
+  // The cached hash is an atomic, so the special members are spelled out
+  // (relaxed copies; concurrent readers at worst recompute the same value).
+  VertexSet(const VertexSet& o)
+      : size_(o.size_),
+        words_(o.words_),
+        hash_cache_(o.hash_cache_.load(std::memory_order_relaxed)) {}
+  VertexSet(VertexSet&& o) noexcept
+      : size_(o.size_),
+        words_(std::move(o.words_)),
+        hash_cache_(o.hash_cache_.load(std::memory_order_relaxed)) {}
+  VertexSet& operator=(const VertexSet& o) {
+    size_ = o.size_;
+    words_ = o.words_;
+    hash_cache_.store(o.hash_cache_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    return *this;
+  }
+  VertexSet& operator=(VertexSet&& o) noexcept {
+    size_ = o.size_;
+    words_ = std::move(o.words_);
+    hash_cache_.store(o.hash_cache_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    return *this;
+  }
+
   /// Builds a set over `universe_size` containing exactly `elements`.
   static VertexSet Of(int universe_size, const std::vector<int>& elements);
   /// Full set {0, ..., universe_size-1}.
@@ -40,13 +67,16 @@ class VertexSet {
   void Set(int i) {
     GHD_DCHECK(i >= 0 && i < size_);
     words_[i >> 6] |= uint64_t{1} << (i & 63);
+    InvalidateHash();
   }
   void Reset(int i) {
     GHD_DCHECK(i >= 0 && i < size_);
     words_[i >> 6] &= ~(uint64_t{1} << (i & 63));
+    InvalidateHash();
   }
   void Clear() {
     for (auto& w : words_) w = 0;
+    InvalidateHash();
   }
 
   /// Number of elements in the set.
@@ -83,7 +113,9 @@ class VertexSet {
   /// |*this & o| without materializing the intersection.
   int IntersectCount(const VertexSet& o) const;
 
-  /// 64-bit hash usable for unordered containers.
+  /// 64-bit hash usable for unordered containers. Memoized: the first call
+  /// after a mutation rehashes the words, later calls return the cached
+  /// value — memo-table hot paths hash the same keys many times.
   uint64_t Hash() const;
 
   /// Renders "{a, b, c}" for debugging.
@@ -103,8 +135,14 @@ class VertexSet {
   }
 
  private:
+  void InvalidateHash() { hash_cache_.store(0, std::memory_order_relaxed); }
+
   int size_ = 0;
   std::vector<uint64_t> words_;
+  /// Cached Hash() result; 0 means "not computed" (Hash never returns 0).
+  /// Atomic so concurrent Hash() calls on a shared immutable set are clean
+  /// under TSan; all accesses are relaxed (the value is self-validating).
+  mutable std::atomic<uint64_t> hash_cache_{0};
 };
 
 /// std::unordered_map-compatible hasher.

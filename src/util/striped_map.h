@@ -1,0 +1,92 @@
+// Mutex-striped concurrent hash map: N independent unordered_map shards, each
+// behind its own mutex, shard chosen by key hash. This is the shared memo
+// table of the parallel solvers — (component, connector) states in the
+// width-k decider, bag -> exact-cover-size caches in the GHW engines — where
+// writers only ever insert (no erase, no in-place mutation), so lookups can
+// hand out stable pointers: unordered_map never moves elements on rehash.
+#ifndef GHD_UTIL_STRIPED_MAP_H_
+#define GHD_UTIL_STRIPED_MAP_H_
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace ghd {
+
+/// Insert-only concurrent map. `Hash` must be consistent across threads.
+/// Values are immutable once inserted; `Find` pointers stay valid for the
+/// map's lifetime (elements are node-based and never erased).
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class StripedMap {
+ public:
+  /// `stripes` is rounded up to a power of two (default 64 keeps contention
+  /// negligible for any plausible thread count).
+  explicit StripedMap(int stripes = 64) {
+    int n = 1;
+    while (n < stripes) n <<= 1;
+    shards_.reserve(n);
+    for (int i = 0; i < n; ++i) shards_.push_back(std::make_unique<Shard>());
+  }
+
+  /// Pointer to the value for `key`, or nullptr when absent. The pointer is
+  /// stable and safe to read without holding the shard lock.
+  const Value* Find(const Key& key) const {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    return it == shard.map.end() ? nullptr : &it->second;
+  }
+
+  /// Inserts (key, value) if absent. Returns the resident value — the given
+  /// one on insertion, the previously inserted one when another thread won.
+  const Value* Insert(const Key& key, Value value) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto [it, inserted] = shard.map.emplace(key, std::move(value));
+    return &it->second;
+  }
+
+  /// Resident value for `key`, computing it with `fn()` under the shard lock
+  /// when absent. `fn` must not touch this map (deadlock).
+  template <typename Fn>
+  const Value* FindOrCompute(const Key& key, Fn fn) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it == shard.map.end()) {
+      it = shard.map.emplace(key, fn()).first;
+    }
+    return &it->second;
+  }
+
+  /// Total element count (takes every stripe lock; for stats/tests).
+  size_t Size() const {
+    size_t total = 0;
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      total += shard->map.size();
+    }
+    return total;
+  }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<Key, Value, Hash> map;
+  };
+
+  Shard& ShardFor(const Key& key) const {
+    const size_t h = Hash{}(key);
+    // Shard on high-ish bits: the map's buckets already consume the low ones.
+    return *shards_[(h >> 6) & (shards_.size() - 1)];
+  }
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace ghd
+
+#endif  // GHD_UTIL_STRIPED_MAP_H_

@@ -1,0 +1,137 @@
+// Thread-count invariance of the parallel engines: the decision (and the
+// optimal width) must be identical at 1, 2, and 8 threads, and every positive
+// answer must carry a decomposition that validates at the claimed width. The
+// witness tree itself may differ between runs — OR-parallel guard search
+// keeps whichever success finishes first — so only width and validity are
+// compared, never tree shape.
+#include <vector>
+
+#include "core/ghw_dp.h"
+#include "core/ghw_exact.h"
+#include "core/k_decider.h"
+#include "gen/circuits.h"
+#include "gen/generators.h"
+#include "gen/random_hypergraphs.h"
+#include "gtest/gtest.h"
+#include "htd/det_k_decomp.h"
+#include "hypergraph/hypergraph_builder.h"
+
+namespace ghd {
+namespace {
+
+std::vector<Hypergraph> AgreementInstances() {
+  std::vector<Hypergraph> instances;
+  instances.push_back(AdderHypergraph(3));
+  instances.push_back(BridgeHypergraph(3));
+  instances.push_back(Grid2dHypergraph(3, 3));
+  instances.push_back(CycleHypergraph(9));
+  instances.push_back(CliqueHypergraph(7));
+  instances.push_back(TriangleStripHypergraph(3));
+  instances.push_back(HypercubeHypergraph(3));
+  instances.push_back(RandomCircuitHypergraph(4, 10, 5));
+  instances.push_back(RandomUniformHypergraph(10, 8, 3, 1));
+  instances.push_back(RandomUniformHypergraph(11, 7, 4, 3));
+  instances.push_back(RandomBoundedIntersectionHypergraph(12, 8, 3, 1, 4));
+  instances.push_back(RandomBoundedDegreeHypergraph(14, 9, 3, 2, 5));
+  return instances;
+}
+
+const std::vector<int> kThreadCounts = {1, 2, 8};
+
+TEST(ParallelDeciderTest, HypertreeWidthAgreesAcrossThreadCounts) {
+  for (const Hypergraph& h : AgreementInstances()) {
+    int reference_width = -1;
+    for (int threads : kThreadCounts) {
+      KDeciderOptions options;
+      options.num_threads = threads;
+      HypertreeWidthResult r = HypertreeWidth(h, 0, options);
+      ASSERT_TRUE(r.exact) << "threads=" << threads;
+      if (threads == kThreadCounts.front()) {
+        reference_width = r.width;
+      } else {
+        EXPECT_EQ(r.width, reference_width) << "threads=" << threads;
+      }
+      ASSERT_TRUE(r.decomposition.Validate(h).ok()) << "threads=" << threads;
+      EXPECT_LE(r.decomposition.Width(), r.width) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelDeciderTest, DecideWidthKAgreesOnBothVerdicts) {
+  // Exercise both positive and negative decisions at every thread count:
+  // clique_7 has hw 4, so k=3 is a "no" and k=4 a "yes".
+  Hypergraph h = CliqueHypergraph(7);
+  for (int threads : kThreadCounts) {
+    KDeciderOptions options;
+    options.num_threads = threads;
+    KDeciderResult no = DecideWidthK(h, OriginalEdgesFamily(h), 3, options);
+    ASSERT_TRUE(no.decided) << "threads=" << threads;
+    EXPECT_FALSE(no.exists) << "threads=" << threads;
+    KDeciderResult yes = DecideWidthK(h, OriginalEdgesFamily(h), 4, options);
+    ASSERT_TRUE(yes.decided) << "threads=" << threads;
+    ASSERT_TRUE(yes.exists) << "threads=" << threads;
+    EXPECT_TRUE(yes.decomposition.Validate(h).ok()) << "threads=" << threads;
+    EXPECT_LE(yes.decomposition.Width(), 4) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelDeciderTest, ExactGhwAgreesAcrossThreadCounts) {
+  for (const Hypergraph& h : AgreementInstances()) {
+    int reference_width = -1;
+    for (int threads : {1, 4}) {
+      ExactGhwOptions options;
+      options.num_threads = threads;
+      ExactGhwResult r = ExactGhw(h, options);
+      ASSERT_TRUE(r.exact) << "threads=" << threads;
+      if (threads == 1) {
+        reference_width = r.upper_bound;
+      } else {
+        EXPECT_EQ(r.upper_bound, reference_width) << "threads=" << threads;
+      }
+      ASSERT_TRUE(r.best_ghd.Validate(h).ok()) << "threads=" << threads;
+      EXPECT_LE(r.best_ghd.Width(), r.upper_bound) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelDeciderTest, ExactGhwComponentwiseParallelParts) {
+  // Disconnected instance: components are solved as parallel tasks and the
+  // stitched result must match the sequential run.
+  HypergraphBuilder b;
+  b.AddEdge("a1", {"x1", "x2", "x3"});
+  b.AddEdge("a2", {"x2", "x3", "x4"});
+  b.AddEdge("a3", {"x3", "x4", "x1"});
+  b.AddEdge("b1", {"y1", "y2"});
+  b.AddEdge("b2", {"y2", "y3"});
+  b.AddEdge("b3", {"y3", "y1"});
+  b.AddEdge("c1", {"z1", "z2"});
+  Hypergraph h = std::move(b).Build();
+  int reference_width = -1;
+  for (int threads : {1, 4}) {
+    ExactGhwOptions options;
+    options.num_threads = threads;
+    ExactGhwResult r = ExactGhwComponentwise(h, options);
+    ASSERT_TRUE(r.exact) << "threads=" << threads;
+    if (threads == 1) {
+      reference_width = r.upper_bound;
+    } else {
+      EXPECT_EQ(r.upper_bound, reference_width) << "threads=" << threads;
+    }
+    ASSERT_TRUE(r.best_ghd.Validate(h).ok()) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelDeciderTest, SubsetDpAgreesAcrossThreadCounts) {
+  int compared = 0;
+  for (const Hypergraph& h : AgreementInstances()) {
+    if (h.num_vertices() > 14) continue;  // keep the 2^n DP cheap
+    std::optional<int> sequential = GhwBySubsetDp(h, 1);
+    std::optional<int> parallel = GhwBySubsetDp(h, 4);
+    EXPECT_EQ(parallel, sequential);
+    if (sequential.has_value()) ++compared;
+  }
+  EXPECT_GT(compared, 0);
+}
+
+}  // namespace
+}  // namespace ghd

@@ -10,10 +10,15 @@
 //   ghd_cli td        <file.hg>          min-fill tree decomposition as PACE .td
 //   ghd_cli decompose <file.hg>          best GHD found, as Graphviz DOT
 //
+// Global flags:
+//   --threads N   executors for the ghw/hw/decompose searches (1 = sequential
+//                 default, 0 = all hardware threads)
+//
 // Files use the HyperBench / detkdecomp .hg format.
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "core/ghw_exact.h"
 #include "core/ghw_lower.h"
@@ -34,7 +39,7 @@ namespace {
 
 int Usage() {
   std::cerr << "usage: ghd_cli <stats|bounds|ghw|hw|tw|fhw|components|td|decompose>\n               <file.hg> "
-               "[budget]\n";
+               "[budget] [--threads N]\n";
   return 2;
 }
 
@@ -42,15 +47,29 @@ int Usage() {
 
 int main(int argc, char** argv) {
   using namespace ghd;
-  if (argc < 3) return Usage();
-  const std::string command = argv[1];
-  Result<Hypergraph> parsed = LoadHg(argv[2]);
+  // Split flags from positional arguments.
+  int num_threads = 1;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threads") {
+      if (i + 1 >= argc) return Usage();
+      num_threads = std::atoi(argv[++i]);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      num_threads = std::atoi(arg.c_str() + 10);
+    } else {
+      args.push_back(arg);
+    }
+  }
+  if (args.size() < 2) return Usage();
+  const std::string command = args[0];
+  Result<Hypergraph> parsed = LoadHg(args[1]);
   if (!parsed.ok()) {
     std::cerr << "error: " << parsed.status().ToString() << "\n";
     return 1;
   }
   const Hypergraph& h = parsed.value();
-  const double budget = argc > 3 ? std::atof(argv[3]) : 30.0;
+  const double budget = args.size() > 2 ? std::atof(args[2].c_str()) : 30.0;
 
   if (command == "stats") {
     std::cout << StatsToString(ComputeStats(h)) << "\n";
@@ -68,6 +87,7 @@ int main(int argc, char** argv) {
   if (command == "ghw") {
     ExactGhwOptions options;
     options.time_limit_seconds = budget;
+    options.num_threads = num_threads;
     ExactGhwResult r = ExactGhwComponentwise(h, options);
     if (r.exact) {
       std::cout << "ghw = " << r.upper_bound << "\n";
@@ -79,7 +99,8 @@ int main(int argc, char** argv) {
   }
   if (command == "hw") {
     KDeciderOptions options;
-    options.state_budget = argc > 3 ? std::atol(argv[3]) : 2000000;
+    options.state_budget = args.size() > 2 ? std::atol(args[2].c_str()) : 2000000;
+    options.num_threads = num_threads;
     HypertreeWidthResult r = HypertreeWidth(h, 0, options);
     if (r.exact) {
       std::cout << "hw = " << r.width << "\n";
@@ -124,6 +145,7 @@ int main(int argc, char** argv) {
   if (command == "decompose") {
     ExactGhwOptions options;
     options.time_limit_seconds = budget;
+    options.num_threads = num_threads;
     ExactGhwResult r = ExactGhw(h, options);
     std::cout << GhdToDot(h, r.best_ghd);
     std::cerr << "width " << r.best_ghd.Width()

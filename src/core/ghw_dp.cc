@@ -14,7 +14,8 @@
 
 namespace ghd {
 
-std::optional<int> GhwBySubsetDp(const Hypergraph& h, int num_threads) {
+std::optional<int> GhwBySubsetDp(const Hypergraph& h, int num_threads,
+                                 Budget* budget) {
   const int n = h.num_vertices();
   if (n > kMaxGhwDpVertices) return std::nullopt;
   if (n == 0 || h.num_edges() == 0) return 0;
@@ -22,6 +23,10 @@ std::optional<int> GhwBySubsetDp(const Hypergraph& h, int num_threads) {
   const Graph primal = h.PrimalGraph();
   const VertexSet covered = h.CoveredVertices();
   const uint32_t full = (uint32_t{1} << n) - 1;
+  // The table is the dominant allocation: one byte per mask, charged upfront.
+  if (budget != nullptr && !budget->Charge(static_cast<size_t>(full) + 1)) {
+    return std::nullopt;
+  }
   std::vector<uint8_t> dp(static_cast<size_t>(full) + 1, 0);
   StripedMap<VertexSet, int, VertexSetHash> cover_cache;
   auto cover_cost = [&](const VertexSet& bag) {
@@ -55,7 +60,10 @@ std::optional<int> GhwBySubsetDp(const Hypergraph& h, int num_threads) {
 
   const int threads = ThreadPool::EffectiveThreads(num_threads);
   if (threads <= 1) {
-    for (uint32_t mask = 1; mask <= full; ++mask) solve_mask(mask);
+    for (uint32_t mask = 1; mask <= full; ++mask) {
+      if (budget != nullptr && !budget->Tick()) return std::nullopt;
+      solve_mask(mask);
+    }
     return static_cast<int>(dp[full]);
   }
 
@@ -70,7 +78,14 @@ std::optional<int> GhwBySubsetDp(const Hypergraph& h, int num_threads) {
     const std::vector<uint32_t>& layer = layers[c];
     ParallelFor(
         &pool, 0, static_cast<int>(layer.size()),
-        [&](int i) { solve_mask(layer[i]); }, /*grain=*/16);
+        [&](int i) {
+          // A stopped budget skips the remaining cells; the partial table is
+          // discarded below, never read.
+          if (budget != nullptr && !budget->Tick()) return;
+          solve_mask(layer[i]);
+        },
+        /*grain=*/16);
+    if (budget != nullptr && budget->Stopped()) return std::nullopt;
   }
   return static_cast<int>(dp[full]);
 }

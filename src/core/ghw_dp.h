@@ -11,6 +11,7 @@
 #include <optional>
 
 #include "hypergraph/hypergraph.h"
+#include "util/resource_governor.h"
 
 namespace ghd {
 
@@ -21,8 +22,12 @@ inline constexpr int kMaxGhwDpVertices = 22;
 /// kMaxGhwDpVertices. With `num_threads` > 1 the DP runs layer by layer
 /// (masks grouped by popcount, each layer a parallel loop over the pool);
 /// <= 0 uses all hardware threads. The result is identical at every thread
-/// count — the DP has no search-order dependence.
-std::optional<int> GhwBySubsetDp(const Hypergraph& h, int num_threads = 1);
+/// count — the DP has no search-order dependence. A non-null `budget` is
+/// ticked once per DP cell and charged for the table upfront; on exhaustion
+/// the DP returns nullopt (inspect budget->reason() to distinguish
+/// truncation from the size cap).
+std::optional<int> GhwBySubsetDp(const Hypergraph& h, int num_threads = 1,
+                                 Budget* budget = nullptr);
 
 }  // namespace ghd
 

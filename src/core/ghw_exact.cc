@@ -14,7 +14,6 @@
 #include "util/check.h"
 #include "util/striped_map.h"
 #include "util/thread_pool.h"
-#include "util/timer.h"
 
 namespace ghd {
 namespace {
@@ -27,11 +26,10 @@ struct Shared {
   const Hypergraph* h;
   VertexSet covered;  // Vertices that occur in some hyperedge.
   ExactGhwOptions options;
-  Deadline deadline;
+  Budget* budget = nullptr;
   ThreadPool* pool = nullptr;
 
   std::atomic<long> nodes{0};
-  std::atomic<bool> out_of_budget{false};
   std::atomic<bool> hit_stop_width{false};
   std::atomic<int> ub{0};
   std::mutex best_mu;
@@ -53,26 +51,29 @@ struct Shared {
     return candidates;
   }
 
+  // The cover cache never holds truncated values: the cover solver runs
+  // unbudgeted (small exact subproblems), and the GHD_CHECK enforces it.
+  // This is the same cache rule the k-decider follows for its memo — a
+  // truncated run must never poison a cache entry (util/resource_governor.h).
   int ExactCoverSize(const VertexSet& bag) {
     if (const int* hit = cover_cache.Find(bag)) return *hit;
     auto size = ExactSetCoverSize(bag, CoverCandidates(bag));
     GHD_CHECK(size.has_value());
+    budget->Charge(static_cast<size_t>((bag.universe_size() + 63) / 64) * 8 +
+                   sizeof(int));
     return *cover_cache.Insert(bag, *size);
   }
+
+  bool Stopped() const { return budget->Stopped(); }
 
   bool ShouldStop() {
     if (options.stop_at_width > 0 && Ub() <= options.stop_at_width) {
       hit_stop_width.store(true, std::memory_order_relaxed);
       return true;
     }
-    const long n = nodes.fetch_add(1, std::memory_order_relaxed) + 1;
-    if ((options.node_budget > 0 && n > options.node_budget) ||
-        ((n & 127) == 0 && deadline.Expired())) {
-      out_of_budget.store(true, std::memory_order_relaxed);
-      return true;
-    }
-    return out_of_budget.load(std::memory_order_relaxed) ||
-           hit_stop_width.load(std::memory_order_relaxed);
+    nodes.fetch_add(1, std::memory_order_relaxed);
+    if (!budget->Tick()) return true;
+    return hit_stop_width.load(std::memory_order_relaxed);
   }
 
   void RecordSolution(int width, std::vector<int> ordering) {
@@ -187,7 +188,7 @@ struct Search {
         const int next_width = std::max(width_so_far, cost);
         group.Run([this, &g, v = v, next_width] {
           if (next_width >= s->Ub()) return;
-          if (s->out_of_budget.load(std::memory_order_relaxed) ||
+          if (s->Stopped() ||
               s->hit_stop_width.load(std::memory_order_relaxed)) {
             return;
           }
@@ -212,7 +213,7 @@ struct Search {
       EliminateInto(&next, v);
       Recurse(next, next_width, depth + 1);
       UndoEliminate(v);
-      if (s->out_of_budget.load(std::memory_order_relaxed) ||
+      if (s->Stopped() ||
           s->hit_stop_width.load(std::memory_order_relaxed)) {
         return;
       }
@@ -221,7 +222,7 @@ struct Search {
 };
 
 ExactGhwResult ExactGhwImpl(const Hypergraph& h, const ExactGhwOptions& options,
-                            ThreadPool* pool) {
+                            ThreadPool* pool, Budget* budget) {
   ExactGhwResult result;
   if (h.num_edges() == 0 || h.num_vertices() == 0) {
     result.exact = true;
@@ -232,7 +233,7 @@ ExactGhwResult ExactGhwImpl(const Hypergraph& h, const ExactGhwOptions& options,
   shared.h = &h;
   shared.covered = h.CoveredVertices();
   shared.options = options;
-  shared.deadline = Deadline(options.time_limit_seconds);
+  shared.budget = budget;
   shared.pool = pool;
   const Graph primal = h.PrimalGraph();
 
@@ -248,6 +249,7 @@ ExactGhwResult ExactGhwImpl(const Hypergraph& h, const ExactGhwOptions& options,
     result.lower_bound = root_lb;
     result.upper_bound = warm.width;
     result.exact = root_lb >= warm.width;
+    result.outcome.complete = result.exact;
     result.best_ordering = std::move(warm.ordering);
     result.best_ghd = std::move(warm.ghd);
     return result;
@@ -261,8 +263,11 @@ ExactGhwResult ExactGhwImpl(const Hypergraph& h, const ExactGhwOptions& options,
 
   result.upper_bound = shared.Ub();
   result.nodes_visited = shared.nodes.load(std::memory_order_relaxed);
-  result.exact = !shared.out_of_budget.load(std::memory_order_relaxed) &&
+  result.exact = !budget->Stopped() &&
                  !shared.hit_stop_width.load(std::memory_order_relaxed);
+  result.outcome = budget->MakeOutcome();
+  result.outcome.ticks = result.nodes_visited;
+  result.outcome.complete = result.exact;
   result.lower_bound = result.exact ? result.upper_bound : root_lb;
   if (shared.best_ordering.empty()) {
     result.best_ordering = std::move(warm.ordering);
@@ -284,7 +289,9 @@ ExactGhwResult ExactGhw(const Hypergraph& h, const ExactGhwOptions& options) {
   const int threads = ThreadPool::EffectiveThreads(options.num_threads);
   std::unique_ptr<ThreadPool> pool;
   if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
-  return ExactGhwImpl(h, options, pool.get());
+  Budget local_budget(options.time_limit_seconds, options.node_budget);
+  Budget* budget = options.budget != nullptr ? options.budget : &local_budget;
+  return ExactGhwImpl(h, options, pool.get(), budget);
 }
 
 ExactGhwResult ExactGhwComponentwise(const Hypergraph& h,
@@ -298,6 +305,12 @@ ExactGhwResult ExactGhwComponentwise(const Hypergraph& h,
   std::unique_ptr<ThreadPool> pool;
   if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
 
+  // One governor across every component: the deadline and node budget are
+  // global. (Before the governor each component silently got its own full
+  // time limit — a k-component instance could run k times the deadline.)
+  Budget local_budget(options.time_limit_seconds, options.node_budget);
+  Budget* budget = options.budget != nullptr ? options.budget : &local_budget;
+
   // Solve the components concurrently (they are independent searches), then
   // stitch in deterministic component order.
   std::vector<ExactGhwResult> part_results(parts.size());
@@ -305,7 +318,7 @@ ExactGhwResult ExactGhwComponentwise(const Hypergraph& h,
     TaskGroup group(pool.get());
     for (size_t p = 0; p < parts.size(); ++p) {
       group.Run([&, p] {
-        part_results[p] = ExactGhwImpl(parts[p], options, pool.get());
+        part_results[p] = ExactGhwImpl(parts[p], options, pool.get(), budget);
       });
     }
     group.Wait();
@@ -354,6 +367,9 @@ ExactGhwResult ExactGhwComponentwise(const Hypergraph& h,
   for (int v = 0; v < h.num_vertices(); ++v) {
     if (!ordered.Test(v)) combined.best_ordering.push_back(v);
   }
+  combined.outcome = budget->MakeOutcome();
+  combined.outcome.ticks = combined.nodes_visited;
+  combined.outcome.complete = combined.exact;
   GHD_CHECK(combined.best_ghd.Validate(h).ok());
   GHD_CHECK(combined.best_ghd.Width() <= combined.upper_bound);
   return combined;

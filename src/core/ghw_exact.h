@@ -13,15 +13,22 @@
 
 #include "core/ghd.h"
 #include "hypergraph/hypergraph.h"
+#include "util/resource_governor.h"
 
 namespace ghd {
 
 /// Budgets and switches for the exact GHW search.
 struct ExactGhwOptions {
-  /// Wall-clock limit in seconds; <= 0 means unlimited.
+  /// Wall-clock limit in seconds; <= 0 means unlimited. Ignored when
+  /// `budget` is set.
   double time_limit_seconds = 0;
-  /// Search node limit; <= 0 means unlimited.
+  /// Search node limit; <= 0 means unlimited. Ignored when `budget` is set.
   long node_budget = 0;
+  /// Shared resource governor (deadline, ticks, memory, cancellation). When
+  /// null a private budget is built from the two fields above. Component-wise
+  /// solving shares one governor across all components, so the deadline and
+  /// node budget are global — not per component.
+  Budget* budget = nullptr;
   /// Eliminate simplicial vertices of the primal graph eagerly (optimality
   /// preserving for GHW as for treewidth).
   bool use_simplicial_reduction = true;
@@ -41,7 +48,9 @@ struct ExactGhwOptions {
 
 /// Search outcome; `exact` means the ordering space was exhausted, in which
 /// case lower_bound == upper_bound == ghw(H). `best_ghd` witnesses the upper
-/// bound and always validates.
+/// bound and always validates. `outcome` reports why a non-exact search
+/// stopped; its stop_reason is kNone when the search ended early because the
+/// incumbent reached `stop_at_width` (an answer, not a resource failure).
 struct ExactGhwResult {
   int lower_bound = 0;
   int upper_bound = 0;
@@ -51,6 +60,7 @@ struct ExactGhwResult {
   std::vector<int> best_ordering;
   GeneralizedHypertreeDecomposition best_ghd;
   long nodes_visited = 0;
+  Outcome outcome;
 };
 
 /// Computes ghw(H) (or bounds, under budget).

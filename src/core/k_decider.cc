@@ -73,23 +73,18 @@ struct Decider {
   const GuardFamily* family;
   int k;
   KDeciderOptions options;
-  ThreadPool* pool = nullptr;  // null => deterministic sequential engine
+  ThreadPool* pool = nullptr;   // null => deterministic sequential engine
+  ghd::Budget* budget = nullptr;  // shared governor, never null once running
 
   std::atomic<long> states{0};
-  std::atomic<bool> out_of_budget{false};
   StripedMap<StateKey, StateValue, StateKeyHash> memo;
 
-  bool Budget() {
-    const long s = states.fetch_add(1, std::memory_order_relaxed) + 1;
-    if (options.state_budget > 0 && s > options.state_budget) {
-      out_of_budget.store(true, std::memory_order_relaxed);
-    }
-    return !out_of_budget.load(std::memory_order_relaxed);
+  bool Tick() {
+    states.fetch_add(1, std::memory_order_relaxed);
+    return budget->Tick();
   }
 
-  bool OutOfBudget() const {
-    return out_of_budget.load(std::memory_order_relaxed);
-  }
+  bool OutOfBudget() const { return budget->Stopped(); }
 
   bool ShouldFork(int depth, size_t branches) const {
     return pool != nullptr && pool->parallel() && depth < kMaxForkDepth &&
@@ -208,7 +203,7 @@ struct Decider {
                        const CancelToken* cancel, int depth,
                        StateValue* value) {
     if (cancel->Cancelled()) return false;
-    if (!Budget()) return false;  // Bound the subset enumeration itself.
+    if (!Tick()) return false;  // Bound the subset enumeration itself.
     if (!lambda->empty() && conn_left.Empty()) {
       if (TryLambda(key, v_comp, *lambda, cancel, depth, value)) return true;
       if (OutOfBudget()) return false;
@@ -239,7 +234,7 @@ struct Decider {
                                const std::vector<int>& candidates,
                                const CancelToken* cancel, int depth,
                                StateValue* out) {
-    if (!Budget()) return false;  // The enumeration root, as in sequential.
+    if (!Tick()) return false;  // The enumeration root, as in sequential.
     auto try_partition = [this, &key, &v_comp, &candidates, depth](
                              size_t i, const CancelToken* token,
                              StateValue* value) {
@@ -284,7 +279,7 @@ struct Decider {
   bool Decide(const StateKey& key, const CancelToken* cancel, int depth) {
     if (const StateValue* hit = memo.Find(key)) return hit->exists;
     if (cancel->Cancelled()) return false;
-    if (!Budget()) return false;
+    if (!Tick()) return false;
 
     const VertexSet v_comp = VerticesOf(key.comp);
     // Only guards touching the component can contribute to chi.
@@ -307,15 +302,36 @@ struct Decider {
       // budget state: memoize unconditionally, so every true child a parent
       // references is resident for reconstruction.
       value.exists = true;
-      memo.Insert(key, std::move(value));
+      Memoize(key, std::move(value));
       return true;
     }
     // A false under cancellation or exhausted budget may be a truncated
-    // search, not a refutation: never cache it.
+    // search, not a refutation: never cache it. This is the library-wide
+    // cache rule (see util/resource_governor.h): a truncated run must never
+    // poison a memo entry with an unproven refutation.
     if (OutOfBudget() || cancel->Cancelled()) return false;
     value.exists = false;
-    memo.Insert(key, std::move(value));
+    Memoize(key, std::move(value));
     return false;
+  }
+
+  // Inserts into the memo, accounting its approximate footprint against the
+  // memory budget (bitset words dominate; the map overhead is ignored).
+  void Memoize(const StateKey& key, StateValue value) {
+    size_t bytes = sizeof(StateKey) + sizeof(StateValue) +
+                   ApproxBytes(key.comp) + ApproxBytes(key.conn) +
+                   ApproxBytes(value.chi) +
+                   value.lambda.size() * sizeof(int);
+    for (const StateKey& child : value.children) {
+      bytes += sizeof(StateKey) + ApproxBytes(child.comp) +
+               ApproxBytes(child.conn);
+    }
+    budget->Charge(bytes);
+    memo.Insert(key, std::move(value));
+  }
+
+  static size_t ApproxBytes(const VertexSet& s) {
+    return static_cast<size_t>((s.universe_size() + 63) / 64) * 8;
   }
 
   // Rebuilds the decomposition tree for a successful root state; returns the
@@ -377,12 +393,22 @@ KDeciderResult DecideWidthK(const Hypergraph& h, const GuardFamily& family,
   std::unique_ptr<ThreadPool> pool;
   if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
 
+  // Private budget from the legacy state_budget knob unless the caller
+  // shares a governor.
+  Budget local_budget;
+  Budget* budget = options.budget;
+  if (budget == nullptr) {
+    local_budget.SetTickBudget(options.state_budget);
+    budget = &local_budget;
+  }
+
   Decider decider;
   decider.h = &h;
   decider.family = &family;
   decider.k = k;
   decider.options = options;
   decider.pool = pool.get();
+  decider.budget = budget;
 
   // Root components of all edges with an empty separator.
   std::vector<VertexSet> roots =
@@ -400,7 +426,12 @@ KDeciderResult DecideWidthK(const Hypergraph& h, const GuardFamily& family,
     root_keys.push_back(std::move(key));
   }
   result.states_visited = decider.states.load(std::memory_order_relaxed);
-  if (decider.OutOfBudget()) {
+  result.outcome = budget->MakeOutcome();
+  result.outcome.ticks = result.states_visited;
+  // A complete positive witness stands even when the budget fired during the
+  // search: truncation may delay an answer, never flip one. Only a failure
+  // under an exhausted budget is unresolved.
+  if (!all_ok && decider.OutOfBudget()) {
     result.decided = false;
     return result;
   }

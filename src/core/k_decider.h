@@ -20,6 +20,7 @@
 #include "core/ghd.h"
 #include "hypergraph/hypergraph.h"
 #include "util/bitset.h"
+#include "util/resource_governor.h"
 
 namespace ghd {
 
@@ -48,8 +49,12 @@ GuardFamily OriginalEdgesFamily(const Hypergraph& h);
 /// Budget and parallelism knobs for the decider.
 struct KDeciderOptions {
   /// Limit on visited (component, connector) states plus λ evaluations;
-  /// <= 0 means unlimited.
+  /// <= 0 means unlimited. Ignored when `budget` is set — the shared
+  /// governor's limits apply instead.
   long state_budget = 0;
+  /// Shared resource governor (deadline, ticks, memory, cancellation). When
+  /// null the decider runs under a private budget built from `state_budget`.
+  Budget* budget = nullptr;
   /// Executors for the search: 1 (default) runs the deterministic sequential
   /// engine, n > 1 runs the work-stealing parallel engine on n threads,
   /// <= 0 uses every hardware thread. The decision (exists / width) is the
@@ -57,16 +62,20 @@ struct KDeciderOptions {
   int num_threads = 1;
 };
 
-/// Outcome. When `decided && exists`, `decomposition` holds the found tree
-/// (bags and tree edges always); its guards are original edge ids and the
-/// whole structure is a validated GHD iff `guards_valid` (i.e. the family had
-/// parent edges).
+/// Decision outcome. When `decided && exists`, `decomposition` holds the
+/// found tree (bags and tree edges always); its guards are original edge ids
+/// and the whole structure is a validated GHD iff `guards_valid` (i.e. the
+/// family had parent edges). `outcome` reports how the search ended;
+/// `decided` means the answer is trustworthy — either the search space was
+/// exhausted (`outcome.complete`), or a complete positive witness was found
+/// before the budget fired (truncation can delay an answer, never flip it).
 struct KDeciderResult {
   bool decided = false;
   bool exists = false;
   bool guards_valid = false;
   GeneralizedHypertreeDecomposition decomposition;
   long states_visited = 0;
+  Outcome outcome;
 };
 
 /// Decides whether H admits a (normal form) decomposition of width <= k with

@@ -63,6 +63,7 @@ TreeProjectionResult TreeProjectionExists(const Hypergraph& h,
   result.decided = r.decided;
   result.exists = r.decided && r.exists;
   result.states_visited = r.states_visited;
+  result.outcome = r.outcome;
   if (result.exists) {
     result.witness = r.decomposition.ToTreeDecomposition();
     GHD_CHECK(result.witness.ValidateForHypergraph(h).ok());

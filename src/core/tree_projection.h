@@ -38,6 +38,8 @@ struct TreeProjectionResult {
   /// When exists: a tree decomposition of H whose bags all fit in G-edges.
   TreeDecomposition witness;
   long states_visited = 0;
+  /// Why an undecided search stopped; carried over from the k-decider.
+  Outcome outcome;
 };
 
 /// Decides cover-normal-form TP(H, G) via the width-1 guard search over G's

@@ -7,9 +7,8 @@ namespace {
 
 struct Search {
   const Csp* csp;
-  BacktrackingOptions options;
+  Budget* budget = nullptr;
   long nodes = 0;
-  bool out_of_budget = false;
   std::vector<int> assignment;
   // Constraints indexed by variable, to limit consistency rechecks.
   std::vector<std::vector<int>> constraints_of;
@@ -25,13 +24,10 @@ struct Search {
     if (var == csp->num_variables()) return true;
     for (int value = 0; value < csp->domain_sizes[var]; ++value) {
       ++nodes;
-      if (options.node_budget > 0 && nodes > options.node_budget) {
-        out_of_budget = true;
-        return false;
-      }
+      if (!budget->Tick()) return false;
       assignment[var] = value;
       if (Consistent(var) && Recurse(var + 1)) return true;
-      if (out_of_budget) return false;
+      if (budget->Stopped()) return false;
     }
     assignment[var] = -1;
     return false;
@@ -42,9 +38,12 @@ struct Search {
 
 BacktrackingResult SolveBacktracking(const Csp& csp,
                                      const BacktrackingOptions& options) {
+  Budget local_budget(/*deadline_seconds=*/0, options.node_budget);
+  Budget* budget = options.budget != nullptr ? options.budget : &local_budget;
+
   Search search;
   search.csp = &csp;
-  search.options = options;
+  search.budget = budget;
   search.assignment.assign(csp.num_variables(), -1);
   search.constraints_of.assign(csp.num_variables(), {});
   for (size_t c = 0; c < csp.constraints.size(); ++c) {
@@ -55,11 +54,16 @@ BacktrackingResult SolveBacktracking(const Csp& csp,
   const bool found = search.Recurse(0);
   BacktrackingResult result;
   result.nodes_visited = search.nodes;
-  result.decided = !search.out_of_budget;
+  // A verified solution stands even if the budget fired during the search;
+  // truncation can only make a "no solution" answer untrustworthy.
+  result.decided = found || !budget->Stopped();
   if (found) {
     GHD_CHECK(csp.IsSolution(search.assignment));
     result.solution = search.assignment;
   }
+  result.outcome = budget->MakeOutcome();
+  result.outcome.ticks = search.nodes;
+  result.outcome.complete = result.decided;
   return result;
 }
 

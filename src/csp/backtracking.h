@@ -8,20 +8,27 @@
 #include <vector>
 
 #include "csp/csp.h"
+#include "util/resource_governor.h"
 
 namespace ghd {
 
 /// Budget for the backtracking search.
 struct BacktrackingOptions {
-  /// Limit on assignment nodes; <= 0 means unlimited.
+  /// Limit on assignment nodes; <= 0 means unlimited. Ignored when `budget`
+  /// is set.
   long node_budget = 0;
+  /// Shared resource governor; when null a private budget is built from
+  /// `node_budget`. Ticked once per assignment node.
+  Budget* budget = nullptr;
 };
 
-/// Outcome: `decided` false means the budget ran out first.
+/// Outcome: `decided` false means the budget ran out first. A solution found
+/// before the budget fired still stands (`solution` is always verified).
 struct BacktrackingResult {
   bool decided = false;
   std::optional<std::vector<int>> solution;
   long nodes_visited = 0;
+  Outcome outcome;
 };
 
 /// Solves by depth-first assignment in variable order, pruning any partial

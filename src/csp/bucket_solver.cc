@@ -22,10 +22,16 @@ int BucketOf(const Relation& r, const std::vector<int>& position_of) {
 
 std::optional<std::vector<int>> SolveByBucketElimination(
     const Csp& csp, const std::vector<int>& ordering,
-    BucketSolveStats* stats) {
+    BucketSolveStats* stats, Budget* budget) {
   BucketSolveStats local;
   BucketSolveStats* s = stats != nullptr ? stats : &local;
   *s = BucketSolveStats{};
+  auto truncate = [&]() -> std::optional<std::vector<int>> {
+    s->decided = false;
+    s->outcome = budget->MakeOutcome();
+    s->outcome.complete = false;
+    return std::nullopt;
+  };
   const int n = csp.num_variables();
   GHD_CHECK(static_cast<int>(ordering.size()) == n);
   for (int v = 0; v < n; ++v) GHD_CHECK(csp.domain_sizes[v] >= 1);
@@ -43,12 +49,20 @@ std::optional<std::vector<int>> SolveByBucketElimination(
   // Forward: process buckets in elimination order; join, project v away,
   // push the derived relation down to its new bucket.
   for (int i = 0; i < n; ++i) {
+    if (budget != nullptr && !budget->Tick()) return truncate();
     const int v = ordering[i];
     if (buckets[v].empty()) continue;
     Relation joined = buckets[v][0];
     for (size_t r = 1; r < buckets[v].size(); ++r) {
+      if (budget != nullptr && !budget->Tick()) return truncate();
       joined = Relation::NaturalJoin(joined, buckets[v][r]);
       ++s->joins;
+      // Intermediate relations are where bucket elimination blows up
+      // (d^(w+1) tuples); charge their tuple storage against the governor.
+      if (budget != nullptr &&
+          !budget->Charge(joined.size() * joined.arity() * sizeof(int))) {
+        return truncate();
+      }
     }
     s->max_relation_size =
         std::max(s->max_relation_size, static_cast<long>(joined.size()));
@@ -88,10 +102,10 @@ std::optional<std::vector<int>> SolveByBucketElimination(
 }
 
 std::optional<std::vector<int>> SolveByBucketElimination(
-    const Csp& csp, BucketSolveStats* stats) {
+    const Csp& csp, BucketSolveStats* stats, Budget* budget) {
   const Hypergraph h = csp.ConstraintHypergraph();
-  return SolveByBucketElimination(csp, MinFillOrdering(h.PrimalGraph()),
-                                  stats);
+  return SolveByBucketElimination(csp, MinFillOrdering(h.PrimalGraph()), stats,
+                                  budget);
 }
 
 }  // namespace ghd

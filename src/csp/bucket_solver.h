@@ -10,25 +10,33 @@
 #include <vector>
 
 #include "csp/csp.h"
+#include "util/resource_governor.h"
 
 namespace ghd {
 
-/// Counters reported by the bucket solver.
+/// Counters reported by the bucket solver. With a budget attached, `decided`
+/// is false when the solve was truncated — then a nullopt return means
+/// "unknown", not "unsatisfiable". Unbudgeted solves are always decided.
 struct BucketSolveStats {
   long joins = 0;
   long max_relation_size = 0;
+  bool decided = true;
+  Outcome outcome;
 };
 
 /// Solves `csp` by bucket elimination along `ordering` (a permutation of the
 /// variables; the first entry is eliminated first). Returns one solution or
-/// nullopt when unsatisfiable.
+/// nullopt when unsatisfiable (check stats->decided under a budget). A
+/// non-null `budget` is ticked once per join and charged for each
+/// intermediate relation's tuple storage.
 std::optional<std::vector<int>> SolveByBucketElimination(
     const Csp& csp, const std::vector<int>& ordering,
-    BucketSolveStats* stats = nullptr);
+    BucketSolveStats* stats = nullptr, Budget* budget = nullptr);
 
 /// Convenience: uses a min-fill ordering of the constraint hypergraph.
 std::optional<std::vector<int>> SolveByBucketElimination(
-    const Csp& csp, BucketSolveStats* stats = nullptr);
+    const Csp& csp, BucketSolveStats* stats = nullptr,
+    Budget* budget = nullptr);
 
 }  // namespace ghd
 

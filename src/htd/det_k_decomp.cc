@@ -25,6 +25,8 @@ HypertreeWidthResult HypertreeWidth(const Hypergraph& h, int max_k,
   for (int k = start; k <= max_k; ++k) {
     KDeciderResult r = HypertreeWidthAtMost(h, k, options);
     result.states_visited += r.states_visited;
+    result.outcome = r.outcome;
+    result.outcome.ticks = result.states_visited;
     if (!r.decided) return result;  // exact stays false
     if (r.exists) {
       result.width = k;

@@ -25,6 +25,8 @@ struct HypertreeWidthResult {
   int last_failed_k = 0;
   GeneralizedHypertreeDecomposition decomposition;
   long states_visited = 0;
+  /// Why the iteration stopped; carried over from the last k-decider run.
+  Outcome outcome;
 };
 
 /// Computes hw(H) by trying k = lb, lb+1, ..., max_k (max_k <= 0 means up to

@@ -4,7 +4,7 @@
 
 namespace ghd {
 
-LpResult SolvePackingLp(const PackingLp& lp) {
+LpResult SolvePackingLp(const PackingLp& lp, Budget* budget) {
   const int m = static_cast<int>(lp.a.size());
   const int n = static_cast<int>(lp.c.size());
   GHD_CHECK(static_cast<int>(lp.b.size()) == m);
@@ -28,6 +28,15 @@ LpResult SolvePackingLp(const PackingLp& lp) {
 
   LpResult result;
   while (true) {
+    if (budget != nullptr && !budget->Tick()) {
+      // Truncated: keep the current feasible basis. The objective of any
+      // feasible packing lower-bounds the optimum, so callers may still use
+      // it as a one-sided bound.
+      result.outcome = budget->MakeOutcome();
+      result.outcome.ticks = result.pivots;
+      result.outcome.complete = false;
+      break;
+    }
     // Bland's rule: entering column = lowest index with negative reduced cost.
     int enter = -1;
     for (int j = 0; j < cols; ++j) {

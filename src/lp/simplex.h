@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "util/rational.h"
+#include "util/resource_governor.h"
 
 namespace ghd {
 
@@ -23,16 +24,22 @@ struct PackingLp {
 };
 
 /// Simplex outcome. Packing LPs with b >= 0 are always feasible (x = 0);
-/// `bounded` is false when the objective is unbounded above.
+/// `bounded` is false when the objective is unbounded above. When a budget
+/// stops the solve mid-way, `outcome.complete` is false and the result holds
+/// the last feasible basis: `solution`/`objective` are a valid (but possibly
+/// suboptimal) packing, so the objective is still a certified lower bound on
+/// the LP optimum.
 struct LpResult {
   bool bounded = true;
   Rational objective;
   std::vector<Rational> solution;
   int pivots = 0;
+  Outcome outcome;
 };
 
 /// Solves the LP exactly. CHECK-fails on malformed input (b < 0, ragged A).
-LpResult SolvePackingLp(const PackingLp& lp);
+/// A non-null `budget` is ticked once per pivot.
+LpResult SolvePackingLp(const PackingLp& lp, Budget* budget = nullptr);
 
 }  // namespace ghd
 

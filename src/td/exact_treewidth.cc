@@ -6,15 +6,13 @@
 #include "td/lower_bounds.h"
 #include "td/ordering_heuristics.h"
 #include "util/check.h"
-#include "util/timer.h"
 
 namespace ghd {
 namespace {
 
 struct Search {
   ExactTreewidthOptions options;
-  Deadline deadline;
-  bool out_of_budget = false;
+  Budget* budget = nullptr;
   long nodes = 0;
 
   int ub = 0;
@@ -37,11 +35,7 @@ struct Search {
   // eliminated, `width_so_far` the max elimination degree seen on this path.
   void Recurse(const Graph& g, int width_so_far) {
     ++nodes;
-    if ((options.node_budget > 0 && nodes > options.node_budget) ||
-        ((nodes & 255) == 0 && deadline.Expired())) {
-      out_of_budget = true;
-      return;
-    }
+    if (!budget->Tick()) return;
     // Pruning rule 1: eliminating the rest in any order costs at most
     // max(width_so_far, alive_count - 1).
     const int finish_now = std::max(width_so_far, alive_count - 1);
@@ -101,7 +95,7 @@ struct Search {
       ++alive_count;
       alive[v] = 1;
       prefix.pop_back();
-      if (out_of_budget) return;
+      if (budget->Stopped()) return;
     }
   }
 };
@@ -118,9 +112,12 @@ ExactTreewidthResult ExactTreewidth(const Graph& g,
     return result;
   }
 
+  Budget local_budget(options.time_limit_seconds, options.node_budget);
+  Budget* budget = options.budget != nullptr ? options.budget : &local_budget;
+
   Search search;
   search.options = options;
-  search.deadline = Deadline(options.time_limit_seconds);
+  search.budget = budget;
   search.alive.assign(n, 1);
   search.alive_count = n;
 
@@ -141,8 +138,11 @@ ExactTreewidthResult ExactTreewidth(const Graph& g,
   result.upper_bound = search.ub;
   result.best_ordering = search.best_ordering;
   result.nodes_visited = search.nodes;
-  result.exact = !search.out_of_budget;
+  result.exact = !budget->Stopped();
   result.lower_bound = result.exact ? search.ub : root_lb;
+  result.outcome = budget->MakeOutcome();
+  result.outcome.ticks = search.nodes;
+  result.outcome.complete = result.exact;
   GHD_DCHECK(EliminationWidth(g, result.best_ordering) <= result.upper_bound);
   return result;
 }

@@ -8,28 +8,35 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "util/resource_governor.h"
 
 namespace ghd {
 
 /// Budget and feature switches for the exact search.
 struct ExactTreewidthOptions {
-  /// Wall-clock limit in seconds; <= 0 means unlimited.
+  /// Wall-clock limit in seconds; <= 0 means unlimited. Ignored when
+  /// `budget` is set.
   double time_limit_seconds = 0;
-  /// Search node limit; <= 0 means unlimited.
+  /// Search node limit; <= 0 means unlimited. Ignored when `budget` is set.
   long node_budget = 0;
+  /// Shared resource governor; when null a private budget is built from the
+  /// two fields above. Ticked once per search node.
+  Budget* budget = nullptr;
   /// Eliminate simplicial / strongly almost simplicial vertices eagerly.
   bool use_reductions = true;
 };
 
 /// Outcome of the search. `upper_bound` always comes with a witnessing
 /// elimination ordering; `exact` is true iff the search space was exhausted
-/// (then lower_bound == upper_bound == treewidth).
+/// (then lower_bound == upper_bound == treewidth). `outcome` reports why a
+/// non-exact search stopped.
 struct ExactTreewidthResult {
   int lower_bound = 0;
   int upper_bound = 0;
   bool exact = false;
   std::vector<int> best_ordering;
   long nodes_visited = 0;
+  Outcome outcome;
 };
 
 /// Computes the treewidth of g (or bounds, under budget).

@@ -1,0 +1,135 @@
+#include "util/resource_governor.h"
+
+#include <cstdlib>
+#include <limits>
+
+namespace ghd {
+
+const char* StopReasonName(StopReason reason) {
+  switch (reason) {
+    case StopReason::kNone:
+      return "none";
+    case StopReason::kDeadline:
+      return "deadline";
+    case StopReason::kTickBudget:
+      return "tick-budget";
+    case StopReason::kMemoryBudget:
+      return "memory-budget";
+    case StopReason::kCancelled:
+      return "cancelled";
+    case StopReason::kFaultInjected:
+      return "fault-injected";
+  }
+  return "unknown";
+}
+
+std::string Outcome::ToString() const {
+  std::string s = complete ? "complete" : StopReasonName(stop_reason);
+  s += " (" + std::to_string(ticks) + " ticks)";
+  return s;
+}
+
+Budget::Budget(double deadline_seconds, long tick_budget, size_t memory_bytes) {
+  SetDeadlineSeconds(deadline_seconds);
+  SetTickBudget(tick_budget);
+  SetMemoryBudget(memory_bytes);
+}
+
+void Budget::SetDeadlineSeconds(double seconds) {
+  has_deadline_ = seconds > 0;
+  if (has_deadline_) {
+    deadline_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                   std::chrono::duration<double>(seconds));
+  }
+}
+
+void Budget::SetTickBudget(long ticks) {
+  tick_budget_ = ticks > 0 ? ticks : 0;
+}
+
+void Budget::SetMemoryBudget(size_t bytes) { memory_budget_ = bytes; }
+
+void Budget::InjectFailureAfter(long ticks) {
+  inject_after_ = ticks > 0 ? ticks : 0;
+}
+
+void Budget::InjectFailureFromEnv() {
+  const char* env = std::getenv("GHD_FAULT_TICKS");
+  if (env == nullptr || *env == '\0') return;
+  char* end = nullptr;
+  const long ticks = std::strtol(env, &end, 10);
+  if (end != env && ticks > 0) InjectFailureAfter(ticks);
+}
+
+void Budget::AttachParent(Budget* parent) { parent_ = parent; }
+
+void Budget::Stop(StopReason reason) {
+  int expected = static_cast<int>(StopReason::kNone);
+  reason_.compare_exchange_strong(expected, static_cast<int>(reason),
+                                  std::memory_order_relaxed);
+}
+
+bool Budget::Tick() {
+  if (parent_ != nullptr) parent_->Tick();
+  const long n = ticks_.fetch_add(1, std::memory_order_relaxed) + 1;
+  // Exact integer limits first: fault injection fires at precisely the nth
+  // tick so test sweeps are deterministic, and the tick budget is off by at
+  // most the thread count under concurrency.
+  if (inject_after_ > 0 && n >= inject_after_) {
+    Stop(StopReason::kFaultInjected);
+  } else if (tick_budget_ > 0 && n > tick_budget_) {
+    Stop(StopReason::kTickBudget);
+  } else if ((n & (kDeadlinePollPeriod - 1)) == 0 && has_deadline_ &&
+             Clock::now() >= deadline_) {
+    Stop(StopReason::kDeadline);
+  }
+  return !Stopped();
+}
+
+bool Budget::Charge(size_t bytes) {
+  if (parent_ != nullptr) parent_->Charge(bytes);
+  const size_t total = bytes_.fetch_add(bytes, std::memory_order_relaxed) +
+                       bytes;
+  if (memory_budget_ > 0 && total > memory_budget_) {
+    Stop(StopReason::kMemoryBudget);
+  }
+  return !Stopped();
+}
+
+void Budget::Cancel() { Stop(StopReason::kCancelled); }
+
+bool Budget::Stopped() const {
+  if (reason_.load(std::memory_order_relaxed) !=
+      static_cast<int>(StopReason::kNone)) {
+    return true;
+  }
+  return parent_ != nullptr && parent_->Stopped();
+}
+
+StopReason Budget::reason() const {
+  const StopReason own =
+      static_cast<StopReason>(reason_.load(std::memory_order_relaxed));
+  if (own != StopReason::kNone) return own;
+  return parent_ != nullptr ? parent_->reason() : StopReason::kNone;
+}
+
+double Budget::ElapsedSeconds() const {
+  return std::chrono::duration<double>(Clock::now() - start_).count();
+}
+
+double Budget::RemainingSeconds() const {
+  if (!has_deadline_) return std::numeric_limits<double>::infinity();
+  const double left =
+      std::chrono::duration<double>(deadline_ - Clock::now()).count();
+  return left > 0 ? left : 0;
+}
+
+Outcome Budget::MakeOutcome() const {
+  Outcome outcome;
+  outcome.stop_reason = reason();
+  outcome.complete = outcome.stop_reason == StopReason::kNone;
+  outcome.ticks = ticks_used();
+  return outcome;
+}
+
+}  // namespace ghd

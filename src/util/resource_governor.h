@@ -1,0 +1,157 @@
+// Unified resource governor for every anytime search engine in the library.
+//
+// The paper's core tension — exact GHW is NP-hard already at k = 3, while
+// hypertree width gives a polynomial factor-(3+o(1)) fallback — means a
+// production width solver must *expect* to hit resource walls and degrade
+// gracefully instead of hanging or crashing. Before the governor, each engine
+// carried its own ad-hoc node counter with slightly different semantics
+// (states vs. nodes vs. pivots, deadline polled at different strides, no
+// memory accounting, no cross-engine sharing). `Budget` replaces all of them:
+//
+//  * one object carries a wall-clock deadline, a tick (search node) budget,
+//    an approximate memory budget, and a cooperative cancel flag;
+//  * every search hot loop calls `Tick()` — an atomic increment plus exact
+//    integer limit checks, with the clock read amortized to every
+//    `kDeadlinePollPeriod` ticks;
+//  * budgets chain: a child slice created by the anytime driver observes its
+//    parent's exhaustion/cancellation through `AttachParent`, so one SIGINT
+//    or deadline stops the whole portfolio;
+//  * `Cancel()` is async-signal-safe (a single atomic store), so a SIGINT
+//    handler can stop every solver sharing the budget;
+//  * fault injection (`InjectFailureAfter` / the GHD_FAULT_TICKS environment
+//    variable) deterministically fires exhaustion at the Nth tick, letting
+//    tests exercise every truncation path of every engine.
+//
+// Engines report how they stopped through `Outcome` instead of a bare
+// nullopt: `complete` means the search space was exhausted, otherwise
+// `stop_reason` says which wall was hit. Best-so-far bounds stay valid either
+// way — truncation is never allowed to turn into a wrong answer (see the
+// memoization rules in core/k_decider.cc).
+#ifndef GHD_UTIL_RESOURCE_GOVERNOR_H_
+#define GHD_UTIL_RESOURCE_GOVERNOR_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <string>
+
+namespace ghd {
+
+/// Why a search stopped before exhausting its search space.
+enum class StopReason {
+  kNone = 0,        // still running, or ran to completion
+  kDeadline,        // wall-clock deadline expired
+  kTickBudget,      // tick (search node / state) budget exhausted
+  kMemoryBudget,    // approximate memory budget exceeded
+  kCancelled,       // external cooperative cancellation (e.g. SIGINT)
+  kFaultInjected,   // deterministic test fault (GHD_FAULT_TICKS)
+};
+
+/// Short stable name ("deadline", "cancelled", ...) for logs and JSON.
+const char* StopReasonName(StopReason reason);
+
+/// Structured termination report carried by every engine result. `complete`
+/// means the engine exhausted its search space (its answer is exact);
+/// otherwise `stop_reason` records the wall that was hit and any reported
+/// bounds are best-so-far (still validated, never wrong — just loose).
+struct Outcome {
+  bool complete = true;
+  StopReason stop_reason = StopReason::kNone;
+  long ticks = 0;
+
+  bool truncated() const { return !complete; }
+  /// "complete (n ticks)" or "<reason> (n ticks)".
+  std::string ToString() const;
+};
+
+/// Shared, thread-safe resource budget. Configure before the search starts
+/// (the setters are not synchronized against concurrent Tick callers), then
+/// share by pointer: Budget is neither copyable nor movable.
+class Budget {
+ public:
+  /// Unlimited budget.
+  Budget() = default;
+  /// Root budget: deadline in seconds (<= 0 none), tick budget (<= 0 none),
+  /// approximate memory budget in bytes (0 none).
+  explicit Budget(double deadline_seconds, long tick_budget = 0,
+                  size_t memory_bytes = 0);
+
+  Budget(const Budget&) = delete;
+  Budget& operator=(const Budget&) = delete;
+
+  /// Deadline `seconds` from now; <= 0 clears it.
+  void SetDeadlineSeconds(double seconds);
+  /// Limit on Tick() calls; <= 0 clears it.
+  void SetTickBudget(long ticks);
+  /// Approximate memory limit for Charge() accounting; 0 clears it.
+  void SetMemoryBudget(size_t bytes);
+  /// Deterministically fire kFaultInjected at the nth Tick(); <= 0 disables.
+  void InjectFailureAfter(long ticks);
+  /// Reads GHD_FAULT_TICKS and arms InjectFailureAfter when set to a positive
+  /// integer. Called on *root* budgets only (anytime driver, CLI), so nested
+  /// slices don't each re-fire the same fault.
+  void InjectFailureFromEnv();
+  /// Chains this budget below `parent`: Tick() and Charge() forward into the
+  /// parent (so the root counts global work, and a root-level fault injection
+  /// or tick budget fires at a deterministic global tick index no matter
+  /// which slice was active), and the parent's exhaustion or cancellation
+  /// stops this budget too.
+  void AttachParent(Budget* parent);
+
+  /// Counts one unit of search work. Returns true while the search may
+  /// continue; false once any limit fired (idempotent thereafter). The
+  /// integer limits (tick budget, fault injection) are exact; the wall clock
+  /// is polled every kDeadlinePollPeriod ticks.
+  bool Tick();
+
+  /// Accounts `bytes` of (approximate, high-water-free cumulative) memory.
+  /// Returns false once the memory budget is exceeded.
+  bool Charge(size_t bytes);
+
+  /// Cooperative external cancellation. Async-signal-safe: a single relaxed
+  /// atomic store, no locks, no allocation — callable from a SIGINT handler.
+  void Cancel();
+
+  /// True once any limit fired on this budget or an attached ancestor.
+  bool Stopped() const;
+
+  /// First reason that fired; ancestors' reasons are reported verbatim so
+  /// provenance survives budget chaining. kNone while running.
+  StopReason reason() const;
+
+  long ticks_used() const { return ticks_.load(std::memory_order_relaxed); }
+  size_t bytes_charged() const {
+    return bytes_.load(std::memory_order_relaxed);
+  }
+  double ElapsedSeconds() const;
+  /// Seconds until the deadline (clamped at 0); +infinity when unlimited.
+  double RemainingSeconds() const;
+
+  /// Snapshot: complete iff nothing fired yet.
+  Outcome MakeOutcome() const;
+
+  /// Clock poll stride of Tick(); a power of two.
+  static constexpr long kDeadlinePollPeriod = 64;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  /// Records the first stop reason (set-once; later calls are no-ops).
+  void Stop(StopReason reason);
+
+  std::atomic<long> ticks_{0};
+  std::atomic<size_t> bytes_{0};
+  std::atomic<int> reason_{static_cast<int>(StopReason::kNone)};
+  Budget* parent_ = nullptr;
+
+  Clock::time_point start_ = Clock::now();
+  Clock::time_point deadline_{};
+  bool has_deadline_ = false;
+  long tick_budget_ = 0;
+  long inject_after_ = 0;
+  size_t memory_budget_ = 0;
+};
+
+}  // namespace ghd
+
+#endif  // GHD_UTIL_RESOURCE_GOVERNOR_H_

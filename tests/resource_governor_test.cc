@@ -1,0 +1,185 @@
+// Unit tests for the shared resource governor: exact integer limits,
+// amortized deadline polling, memory accounting, cancellation, parent
+// chaining, and deterministic fault injection.
+#include "util/resource_governor.h"
+
+#include <cstdlib>
+#include <chrono>
+#include <thread>
+
+#include "gtest/gtest.h"
+
+namespace ghd {
+namespace {
+
+TEST(BudgetTest, UnlimitedBudgetNeverStops) {
+  Budget budget;
+  for (int i = 0; i < 10000; ++i) EXPECT_TRUE(budget.Tick());
+  EXPECT_TRUE(budget.Charge(1 << 30));
+  EXPECT_FALSE(budget.Stopped());
+  EXPECT_EQ(budget.reason(), StopReason::kNone);
+  const Outcome outcome = budget.MakeOutcome();
+  EXPECT_TRUE(outcome.complete);
+  EXPECT_FALSE(outcome.truncated());
+}
+
+TEST(BudgetTest, TickBudgetIsExact) {
+  Budget budget(/*deadline_seconds=*/0, /*tick_budget=*/10);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(budget.Tick()) << "tick " << i;
+  }
+  EXPECT_FALSE(budget.Tick());
+  EXPECT_TRUE(budget.Stopped());
+  EXPECT_EQ(budget.reason(), StopReason::kTickBudget);
+  // Sticky: once stopped, always stopped.
+  EXPECT_FALSE(budget.Tick());
+}
+
+TEST(BudgetTest, FaultInjectionFiresAtExactTick) {
+  Budget budget;
+  budget.InjectFailureAfter(5);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(budget.Tick());
+  EXPECT_FALSE(budget.Tick());  // the 5th tick
+  EXPECT_EQ(budget.reason(), StopReason::kFaultInjected);
+}
+
+TEST(BudgetTest, DeadlineFiresWithinPollPeriod) {
+  Budget budget(/*deadline_seconds=*/0.005);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  // The clock is only polled every kDeadlinePollPeriod ticks, so up to that
+  // many ticks may pass after expiry before Tick reports it.
+  bool stopped = false;
+  for (long i = 0; i <= Budget::kDeadlinePollPeriod && !stopped; ++i) {
+    stopped = !budget.Tick();
+  }
+  EXPECT_TRUE(stopped);
+  EXPECT_EQ(budget.reason(), StopReason::kDeadline);
+  EXPECT_EQ(budget.RemainingSeconds(), 0.0);
+}
+
+TEST(BudgetTest, MemoryBudgetTracksCumulativeCharges) {
+  Budget budget;
+  budget.SetMemoryBudget(1000);
+  EXPECT_TRUE(budget.Charge(600));
+  EXPECT_EQ(budget.bytes_charged(), 600u);
+  EXPECT_FALSE(budget.Charge(600));
+  EXPECT_EQ(budget.reason(), StopReason::kMemoryBudget);
+  EXPECT_FALSE(budget.Tick());
+}
+
+TEST(BudgetTest, CancelIsStickyAndReported) {
+  Budget budget;
+  EXPECT_TRUE(budget.Tick());
+  budget.Cancel();
+  EXPECT_TRUE(budget.Stopped());
+  EXPECT_FALSE(budget.Tick());
+  EXPECT_EQ(budget.reason(), StopReason::kCancelled);
+  const Outcome outcome = budget.MakeOutcome();
+  EXPECT_FALSE(outcome.complete);
+  EXPECT_EQ(outcome.stop_reason, StopReason::kCancelled);
+}
+
+TEST(BudgetTest, FirstReasonWins) {
+  Budget budget(/*deadline_seconds=*/0, /*tick_budget=*/1);
+  EXPECT_TRUE(budget.Tick());
+  EXPECT_FALSE(budget.Tick());
+  budget.Cancel();  // later reasons must not overwrite the first
+  EXPECT_EQ(budget.reason(), StopReason::kTickBudget);
+}
+
+TEST(BudgetTest, ChildForwardsTicksToParent) {
+  Budget parent(/*deadline_seconds=*/0, /*tick_budget=*/10);
+  Budget child;
+  child.AttachParent(&parent);
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(child.Tick());
+  EXPECT_EQ(parent.ticks_used(), 10);
+  // The 11th child tick exhausts the parent, which stops the child too.
+  EXPECT_FALSE(child.Tick());
+  EXPECT_TRUE(child.Stopped());
+  EXPECT_EQ(child.reason(), StopReason::kTickBudget);
+}
+
+TEST(BudgetTest, GlobalFaultIndexIsSliceIndependent) {
+  // The fault fires at the same global tick no matter how the work is split
+  // across child slices — the property the sweep tests rely on.
+  Budget parent;
+  parent.InjectFailureAfter(7);
+  Budget first;
+  first.AttachParent(&parent);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(first.Tick());
+  Budget second;
+  second.AttachParent(&parent);
+  EXPECT_TRUE(second.Tick());   // global tick 5
+  EXPECT_TRUE(second.Tick());   // global tick 6
+  EXPECT_FALSE(second.Tick());  // global tick 7: fault
+  EXPECT_EQ(second.reason(), StopReason::kFaultInjected);
+}
+
+TEST(BudgetTest, ParentCancellationStopsChild) {
+  Budget parent;
+  Budget child;
+  child.AttachParent(&parent);
+  EXPECT_TRUE(child.Tick());
+  parent.Cancel();
+  EXPECT_TRUE(child.Stopped());
+  EXPECT_FALSE(child.Tick());
+  EXPECT_EQ(child.MakeOutcome().stop_reason, StopReason::kCancelled);
+}
+
+TEST(BudgetTest, ChargeForwardsToParent) {
+  Budget parent;
+  parent.SetMemoryBudget(100);
+  Budget child;
+  child.AttachParent(&parent);
+  EXPECT_TRUE(child.Charge(60));
+  EXPECT_FALSE(child.Charge(60));
+  EXPECT_EQ(child.reason(), StopReason::kMemoryBudget);
+}
+
+TEST(BudgetTest, ChildDeadlineDoesNotStopParent) {
+  Budget parent;
+  Budget child(/*deadline_seconds=*/0, /*tick_budget=*/2);
+  child.AttachParent(&parent);
+  EXPECT_TRUE(child.Tick());
+  EXPECT_TRUE(child.Tick());
+  EXPECT_FALSE(child.Tick());
+  EXPECT_TRUE(child.Stopped());
+  EXPECT_FALSE(parent.Stopped());
+  EXPECT_EQ(parent.ticks_used(), 3);
+}
+
+TEST(BudgetTest, EnvFaultInjection) {
+  setenv("GHD_FAULT_TICKS", "3", 1);
+  Budget budget;
+  budget.InjectFailureFromEnv();
+  unsetenv("GHD_FAULT_TICKS");
+  EXPECT_TRUE(budget.Tick());
+  EXPECT_TRUE(budget.Tick());
+  EXPECT_FALSE(budget.Tick());
+  EXPECT_EQ(budget.reason(), StopReason::kFaultInjected);
+}
+
+TEST(BudgetTest, EnvFaultInjectionIgnoresGarbage) {
+  setenv("GHD_FAULT_TICKS", "not-a-number", 1);
+  Budget budget;
+  budget.InjectFailureFromEnv();
+  unsetenv("GHD_FAULT_TICKS");
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(budget.Tick());
+}
+
+TEST(OutcomeTest, NamesAndToString) {
+  EXPECT_STREQ(StopReasonName(StopReason::kDeadline), "deadline");
+  EXPECT_STREQ(StopReasonName(StopReason::kCancelled), "cancelled");
+  EXPECT_STREQ(StopReasonName(StopReason::kFaultInjected), "fault-injected");
+  Outcome complete;
+  complete.ticks = 12;
+  EXPECT_NE(complete.ToString().find("complete"), std::string::npos);
+  Outcome truncated;
+  truncated.complete = false;
+  truncated.stop_reason = StopReason::kTickBudget;
+  EXPECT_NE(truncated.ToString().find(StopReasonName(StopReason::kTickBudget)),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace ghd

@@ -3,6 +3,7 @@
 //   ghd_cli stats     <file.hg>          structural statistics + acyclicity
 //   ghd_cli bounds    <file.hg>          fast ghw lower/upper bounds
 //   ghd_cli ghw       <file.hg> [secs]   exact GHW (budgeted)
+//   ghd_cli anytime   <file.hg>          degradation-ladder interval for ghw
 //   ghd_cli hw        <file.hg> [states] exact hypertree width (budgeted)
 //   ghd_cli tw        <file.hg> [secs]   exact treewidth of the primal graph
 //   ghd_cli fhw       <file.hg>          fractional hypertree width upper bound
@@ -11,15 +12,25 @@
 //   ghd_cli decompose <file.hg>          best GHD found, as Graphviz DOT
 //
 // Global flags:
-//   --threads N   executors for the ghw/hw/decompose searches (1 = sequential
-//                 default, 0 = all hardware threads)
+//   --threads N      executors for the ghw/hw/decompose searches (1 =
+//                    sequential default, 0 = all hardware threads)
+//   --timeout-ms N   wall-clock deadline for the budgeted commands; overrides
+//                    the positional seconds budget
+//   --memory-mb N    approximate memory budget for the search caches
+//
+// All budgeted commands share one resource governor: SIGINT cancels it
+// cooperatively, and the best validated bounds found so far are still
+// printed. Exit codes: 0 = decided/complete, 3 = truncated by a budget or
+// SIGINT (bounds printed are valid but not tight), 1 = I/O error, 2 = usage.
 //
 // Files use the HyperBench / detkdecomp .hg format.
+#include <csignal>
 #include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "core/anytime.h"
 #include "core/ghw_exact.h"
 #include "core/ghw_lower.h"
 #include "core/fractional.h"
@@ -34,13 +45,29 @@
 #include "td/exact_treewidth.h"
 #include "td/pace_io.h"
 #include "td/ordering_heuristics.h"
+#include "util/resource_governor.h"
 
 namespace {
 
+constexpr int kExitDecided = 0;
+constexpr int kExitError = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitTruncated = 3;
+
+// The governor shared by every budgeted command, reachable from the SIGINT
+// handler. Budget::Cancel is async-signal-safe (one relaxed atomic store).
+ghd::Budget* g_budget = nullptr;
+
+extern "C" void HandleSigint(int) {
+  if (g_budget != nullptr) g_budget->Cancel();
+}
+
 int Usage() {
-  std::cerr << "usage: ghd_cli <stats|bounds|ghw|hw|tw|fhw|components|td|decompose>\n               <file.hg> "
-               "[budget] [--threads N]\n";
-  return 2;
+  std::cerr
+      << "usage: ghd_cli <stats|bounds|ghw|anytime|hw|tw|fhw|components|td|"
+         "decompose>\n               <file.hg> [budget] [--threads N] "
+         "[--timeout-ms N] [--memory-mb N]\n";
+  return kExitUsage;
 }
 
 }  // namespace
@@ -49,14 +76,32 @@ int main(int argc, char** argv) {
   using namespace ghd;
   // Split flags from positional arguments.
   int num_threads = 1;
+  long timeout_ms = 0;
+  long memory_mb = 0;
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--threads") {
-      if (i + 1 >= argc) return Usage();
-      num_threads = std::atoi(argv[++i]);
-    } else if (arg.rfind("--threads=", 0) == 0) {
-      num_threads = std::atoi(arg.c_str() + 10);
+    auto long_flag = [&](const char* name, long* out) {
+      const std::string prefix = std::string(name) + "=";
+      if (arg == name) {
+        if (i + 1 >= argc) return false;
+        *out = std::atol(argv[++i]);
+        return true;
+      }
+      if (arg.rfind(prefix, 0) == 0) {
+        *out = std::atol(arg.c_str() + prefix.size());
+        return true;
+      }
+      return false;
+    };
+    long threads_value = 0;
+    if (long_flag("--threads", &threads_value)) {
+      num_threads = static_cast<int>(threads_value);
+    } else if (long_flag("--timeout-ms", &timeout_ms) ||
+               long_flag("--memory-mb", &memory_mb)) {
+      if (timeout_ms < 0 || memory_mb < 0) return Usage();
+    } else if (arg.rfind("--", 0) == 0) {
+      return Usage();
     } else {
       args.push_back(arg);
     }
@@ -66,72 +111,115 @@ int main(int argc, char** argv) {
   Result<Hypergraph> parsed = LoadHg(args[1]);
   if (!parsed.ok()) {
     std::cerr << "error: " << parsed.status().ToString() << "\n";
-    return 1;
+    return kExitError;
   }
   const Hypergraph& h = parsed.value();
-  const double budget = args.size() > 2 ? std::atof(args[2].c_str()) : 30.0;
+  const double budget_arg = args.size() > 2 ? std::atof(args[2].c_str()) : 30.0;
+
+  // One governor for the whole invocation; --timeout-ms overrides the
+  // positional seconds budget, SIGINT cancels cooperatively, and
+  // GHD_FAULT_TICKS arms deterministic fault injection for tests.
+  Budget governor;
+  const double deadline_seconds =
+      timeout_ms > 0 ? static_cast<double>(timeout_ms) / 1000.0 : 0.0;
+  if (memory_mb > 0) {
+    governor.SetMemoryBudget(static_cast<size_t>(memory_mb) * 1024 * 1024);
+  }
+  governor.InjectFailureFromEnv();
+  g_budget = &governor;
+  std::signal(SIGINT, HandleSigint);
 
   if (command == "stats") {
     std::cout << StatsToString(ComputeStats(h)) << "\n";
     std::cout << (IsAlphaAcyclic(h) ? "alpha-acyclic (ghw = 1)"
                                     : "cyclic (ghw >= 2)")
               << "\n";
-    return 0;
+    return kExitDecided;
   }
   if (command == "bounds") {
     GhwUpperBoundResult ub = GhwUpperBoundMultiRestart(h, 8, 1, CoverMode::kExact);
     std::cout << "ghw lower bound: " << GhwLowerBound(h) << "\n";
     std::cout << "ghw upper bound: " << ub.width << "\n";
-    return 0;
+    return kExitDecided;
   }
   if (command == "ghw") {
+    governor.SetDeadlineSeconds(deadline_seconds > 0 ? deadline_seconds
+                                                     : budget_arg);
     ExactGhwOptions options;
-    options.time_limit_seconds = budget;
+    options.budget = &governor;
     options.num_threads = num_threads;
     ExactGhwResult r = ExactGhwComponentwise(h, options);
     if (r.exact) {
       std::cout << "ghw = " << r.upper_bound << "\n";
+      return kExitDecided;
+    }
+    std::cout << "ghw in [" << r.lower_bound << ", " << r.upper_bound << "] ("
+              << StopReasonName(r.outcome.stop_reason) << ")\n";
+    return kExitTruncated;
+  }
+  if (command == "anytime") {
+    AnytimeOptions options;
+    options.budget = &governor;
+    if (deadline_seconds > 0) governor.SetDeadlineSeconds(deadline_seconds);
+    options.num_threads = num_threads;
+    AnytimeGhwResult r = AnytimeGhw(h, options);
+    if (r.exact) {
+      std::cout << "ghw = " << r.upper_bound << "\n";
     } else {
       std::cout << "ghw in [" << r.lower_bound << ", " << r.upper_bound
-                << "] (budget reached)\n";
+                << "] (" << StopReasonName(r.outcome.stop_reason) << ")\n";
     }
-    return 0;
+    std::cerr << "ladder:\n";
+    for (const AnytimeStep& step : r.trail) {
+      std::cerr << "  " << step.engine << " -> [" << step.lower_bound << ", "
+                << step.upper_bound << "] @" << step.at_seconds << "s\n";
+    }
+    return r.exact ? kExitDecided : kExitTruncated;
   }
   if (command == "hw") {
+    if (deadline_seconds > 0) {
+      governor.SetDeadlineSeconds(deadline_seconds);
+    } else {
+      governor.SetTickBudget(args.size() > 2 ? std::atol(args[2].c_str())
+                                             : 2000000);
+    }
     KDeciderOptions options;
-    options.state_budget = args.size() > 2 ? std::atol(args[2].c_str()) : 2000000;
+    options.budget = &governor;
     options.num_threads = num_threads;
     HypertreeWidthResult r = HypertreeWidth(h, 0, options);
     if (r.exact) {
       std::cout << "hw = " << r.width << "\n";
-    } else {
-      std::cout << "hw > " << r.last_failed_k << " (budget reached)\n";
+      return kExitDecided;
     }
-    return 0;
+    std::cout << "hw > " << r.last_failed_k << " ("
+              << StopReasonName(r.outcome.stop_reason) << ")\n";
+    return kExitTruncated;
   }
   if (command == "fhw") {
     const Rational fhw = FhwUpperBound(h, OrderingHeuristic::kMinFill);
     std::cout << "fhw <= " << fhw.ToString() << "\n";
-    return 0;
+    return kExitDecided;
   }
   if (command == "tw") {
+    governor.SetDeadlineSeconds(deadline_seconds > 0 ? deadline_seconds
+                                                     : budget_arg);
     ExactTreewidthOptions options;
-    options.time_limit_seconds = budget;
+    options.budget = &governor;
     ExactTreewidthResult r = ExactTreewidth(h.PrimalGraph(), options);
     if (r.exact) {
       std::cout << "tw = " << r.upper_bound << "\n";
-    } else {
-      std::cout << "tw in [" << r.lower_bound << ", " << r.upper_bound
-                << "] (budget reached)\n";
+      return kExitDecided;
     }
-    return 0;
+    std::cout << "tw in [" << r.lower_bound << ", " << r.upper_bound << "] ("
+              << StopReasonName(r.outcome.stop_reason) << ")\n";
+    return kExitTruncated;
   }
   if (command == "td") {
     const Graph primal = h.PrimalGraph();
     TreeDecomposition td = TdFromOrdering(primal, MinFillOrdering(primal));
     std::cout << WritePaceTreeDecomposition(td, primal.num_vertices());
     std::cerr << "width " << td.Width() << " (min-fill heuristic)\n";
-    return 0;
+    return kExitDecided;
   }
   if (command == "components") {
     const auto parts = SplitIntoComponents(h);
@@ -140,17 +228,19 @@ int main(int argc, char** argv) {
       std::cout << "  [" << p << "] "
                 << StatsToString(ComputeStats(parts[p])) << "\n";
     }
-    return 0;
+    return kExitDecided;
   }
   if (command == "decompose") {
+    governor.SetDeadlineSeconds(deadline_seconds > 0 ? deadline_seconds
+                                                     : budget_arg);
     ExactGhwOptions options;
-    options.time_limit_seconds = budget;
+    options.budget = &governor;
     options.num_threads = num_threads;
     ExactGhwResult r = ExactGhw(h, options);
     std::cout << GhdToDot(h, r.best_ghd);
     std::cerr << "width " << r.best_ghd.Width()
               << (r.exact ? " (optimal)" : " (best found)") << "\n";
-    return 0;
+    return r.exact ? kExitDecided : kExitTruncated;
   }
   return Usage();
 }

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/anytime.h"
+#include "obs/obs.h"
 #include "suite.h"
 #include "util/table.h"
 #include "util/timer.h"
@@ -18,7 +19,11 @@
 int main(int argc, char** argv) {
   using namespace ghd;
   const bool full = bench::WantFull(argc, argv);
+  const bool force = bench::WantForce(argc, argv);
   const int num_threads = bench::ThreadsArg(argc, argv, 1);
+#if GHD_OBS_ENABLED
+  obs::EnableCounters(true);
+#endif
   std::cout << "E11: anytime interval quality vs tick budget\n"
             << "    (ladder: lower bounds -> greedy covers -> subset DP -> "
                "exact B&B -> det-k-decomp)\n\n";
@@ -36,6 +41,9 @@ int main(int argc, char** argv) {
       AnytimeOptions options;
       options.budget = &budget;
       options.num_threads = num_threads;
+#if GHD_OBS_ENABLED
+      obs::ResetCounters();
+#endif
       WallTimer t;
       AnytimeGhwResult r = AnytimeGhw(inst.hypergraph, options);
       const double ms = t.ElapsedMillis();
@@ -72,6 +80,11 @@ int main(int argc, char** argv) {
         trail += "\"";
         record.extra.emplace_back("trail", trail);
       }
+#if GHD_OBS_ENABLED
+      std::string counters_json;
+      obs::SnapshotCounters().AppendJson(&counters_json);
+      record.extra.emplace_back("counters", counters_json);
+#endif
       records.push_back(std::move(record));
     }
   }
@@ -79,6 +92,6 @@ int main(int argc, char** argv) {
   std::cout << "\nresult: the interval is valid at every budget (the "
                "heuristic rungs are\ntick-free) and tightens monotonically to "
                "exact as the budget grows.\n";
-  bench::WriteBenchJson("anytime", full, records);
+  bench::WriteBenchJson("anytime", full, records, force);
   return 0;
 }

@@ -73,6 +73,7 @@ int main(int argc, char** argv) {
   std::cout << "\nresult: closure size and decision effort grow polynomially\n"
             << "with n, matching the tractable-variant theorem; verdicts\n"
             << "agree with the general exact solver throughout.\n";
-  bench::WriteBenchJson("bip_tractable", full, records);
+  bench::WriteBenchJson("bip_tractable", full, records,
+                        bench::WantForce(argc, argv));
   return 0;
 }

@@ -59,6 +59,7 @@ int main(int argc, char** argv) {
   table.Print(std::cout);
   std::cout << "\nresult: growth factors stay above 1 and node counts climb\n"
             << "steeply, the exponential scaling the hardness theorem predicts.\n";
-  bench::WriteBenchJson("exact_scaling", full, records);
+  bench::WriteBenchJson("exact_scaling", full, records,
+                        bench::WantForce(argc, argv));
   return 0;
 }

@@ -85,6 +85,13 @@ bool WantFull(int argc, char** argv) {
   return false;
 }
 
+bool WantForce(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--force") == 0) return true;
+  }
+  return false;
+}
+
 int ThreadsArg(int argc, char** argv, int fallback) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
@@ -111,10 +118,16 @@ std::string JsonEscape(const std::string& s) {
 }  // namespace
 
 void WriteBenchJson(const std::string& bench_name, bool full,
-                    const std::vector<BenchRecord>& records) {
+                    const std::vector<BenchRecord>& records, bool force) {
   const std::string path = "BENCH_" + bench_name + ".json";
+  if (!force && std::ifstream(path).good()) {
+    std::cerr << "refusing to clobber existing " << path
+              << "; rerun with --force to overwrite.\n";
+    return;
+  }
   std::ostringstream out;
   out << "{\n"
+      << "  \"schema_version\": " << kBenchSchemaVersion << ",\n"
       << "  \"bench\": \"" << JsonEscape(bench_name) << "\",\n"
       << "  \"full\": " << (full ? "true" : "false") << ",\n"
       << "  \"hardware_threads\": " << std::thread::hardware_concurrency()

@@ -28,6 +28,10 @@ std::vector<NamedInstance> ExactSuite(bool full);
 /// True when argv contains "--full".
 bool WantFull(int argc, char** argv);
 
+/// True when argv contains "--force" (allow clobbering an existing
+/// BENCH_<name>.json).
+bool WantForce(int argc, char** argv);
+
 /// Value of "--threads N" / "--threads=N" in argv, or `fallback`.
 int ThreadsArg(int argc, char** argv, int fallback = 1);
 
@@ -42,11 +46,17 @@ struct BenchRecord {
   std::vector<std::pair<std::string, std::string>> extra;
 };
 
+/// Layout version stamped into every BENCH_*.json. Version 2 added the
+/// schema_version field itself and the optional per-record "counters" object.
+inline constexpr int kBenchSchemaVersion = 2;
+
 /// Writes BENCH_<bench_name>.json in the working directory: run metadata
-/// (bench name, --full flag, hardware thread count) plus every record. The
-/// perf trajectory of the solvers is tracked from these files.
+/// (schema version, bench name, --full flag, hardware thread count) plus
+/// every record. The perf trajectory of the solvers is tracked from these
+/// files, so an existing file is never clobbered unless `force` is true
+/// (wire it to WantForce so users opt in with --force).
 void WriteBenchJson(const std::string& bench_name, bool full,
-                    const std::vector<BenchRecord>& records);
+                    const std::vector<BenchRecord>& records, bool force);
 
 }  // namespace bench
 }  // namespace ghd

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "htd/det_k_decomp.h"
+#include "obs/obs.h"
 #include "suite.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
@@ -21,6 +22,10 @@
 int main(int argc, char** argv) {
   using namespace ghd;
   const bool full = bench::WantFull(argc, argv);
+  const bool force = bench::WantForce(argc, argv);
+#if GHD_OBS_ENABLED
+  ghd::obs::EnableCounters(true);
+#endif
   const int max_threads = ThreadPool::EffectiveThreads(
       bench::ThreadsArg(argc, argv, /*fallback=*/0));
   // Thread counts swept: 1 (sequential baseline), then doubling up to the
@@ -49,6 +54,9 @@ int main(int argc, char** argv) {
       KDeciderOptions options;
       options.state_budget = budget;
       options.num_threads = threads;
+#if GHD_OBS_ENABLED
+      ghd::obs::ResetCounters();
+#endif
       WallTimer t;
       HypertreeWidthResult r = HypertreeWidth(h, 0, options);
       const double ms = t.ElapsedMillis();
@@ -72,6 +80,11 @@ int main(int argc, char** argv) {
       record.threads = threads;
       record.extra.emplace_back("width", std::to_string(width));
       record.extra.emplace_back("decided", r.exact ? "true" : "false");
+#if GHD_OBS_ENABLED
+      std::string counters_json;
+      ghd::obs::SnapshotCounters().AppendJson(&counters_json);
+      record.extra.emplace_back("counters", counters_json);
+#endif
       records.push_back(std::move(record));
     }
   }
@@ -101,6 +114,6 @@ int main(int argc, char** argv) {
   std::cout << "\n\nresult: widths "
             << (widths_agree ? "identical" : "DIFFER (BUG)")
             << " across thread counts.\n";
-  bench::WriteBenchJson("suite", full, records);
+  bench::WriteBenchJson("suite", full, records, force);
   return widths_agree ? 0 : 1;
 }

@@ -10,6 +10,7 @@
 #include "core/ghw_lower.h"
 #include "core/ghw_upper.h"
 #include "htd/det_k_decomp.h"
+#include "obs/obs.h"
 #include "util/check.h"
 
 namespace ghd {
@@ -19,6 +20,7 @@ namespace {
 // invariant (nested intervals) holds because callers only ever tighten
 // result.lower_bound / result.upper_bound.
 void Record(AnytimeGhwResult* result, const char* engine, const Budget& root) {
+  GHD_COUNT(kLadderRungs);
   AnytimeStep step;
   step.engine = engine;
   step.lower_bound = result->lower_bound;
@@ -35,6 +37,7 @@ void Improve(AnytimeGhwResult* result, const Hypergraph& h,
   if (result->witness.num_nodes() != 0 && width >= result->upper_bound) return;
   GHD_CHECK(ghd.Validate(h).ok());
   GHD_CHECK(ghd.Width() <= width);
+  GHD_COUNT(kLadderImprovements);
   result->upper_bound = std::min(result->upper_bound, width);
   result->witness = std::move(ghd);
 }
@@ -61,23 +64,33 @@ AnytimeGhwResult AnytimeGhw(const Hypergraph& h, const AnytimeOptions& options) 
 
   // Rung 1 (tick-free): combinatorial lower bound. Always runs, so even a
   // zero-tick budget yields a nontrivial certified interval.
-  result.lower_bound = std::max(1, GhwLowerBound(h));
-  result.upper_bound = h.num_edges();
-  Record(&result, "lower-bound", *root);
+  {
+    GHD_SPAN_VAR(span, "anytime", "rung:lower-bound");
+    result.lower_bound = std::max(1, GhwLowerBound(h));
+    result.upper_bound = h.num_edges();
+    Record(&result, "lower-bound", *root);
+    span.SetArg("lb", result.lower_bound);
+  }
 
   // Rung 2 (tick-free): greedy cover on one min-fill ordering. Guarantees a
   // validated witness exists from here on.
-  GhwUpperBoundResult greedy =
-      GhwUpperBound(h, OrderingHeuristic::kMinFill, CoverMode::kGreedy);
-  Improve(&result, h, std::move(greedy.ghd), greedy.width);
-  Record(&result, "greedy-cover", *root);
+  {
+    GHD_SPAN_VAR(span, "anytime", "rung:greedy-cover");
+    GhwUpperBoundResult greedy =
+        GhwUpperBound(h, OrderingHeuristic::kMinFill, CoverMode::kGreedy);
+    Improve(&result, h, std::move(greedy.ghd), greedy.width);
+    Record(&result, "greedy-cover", *root);
+    span.SetArg("ub", result.upper_bound);
+  }
 
   // Rung 3 (tick-free): randomized multi-restart with exact per-bag covers.
   if (options.heuristic_restarts > 0) {
+    GHD_SPAN_VAR(span, "anytime", "rung:multi-restart");
     GhwUpperBoundResult multi = GhwUpperBoundMultiRestart(
         h, options.heuristic_restarts, options.seed, CoverMode::kExact);
     Improve(&result, h, std::move(multi.ghd), multi.width);
     Record(&result, "multi-restart", *root);
+    span.SetArg("ub", result.upper_bound);
   }
 
   if (result.lower_bound >= result.upper_bound) {
@@ -95,8 +108,10 @@ AnytimeGhwResult AnytimeGhw(const Hypergraph& h, const AnytimeOptions& options) 
   std::optional<int> dp_width;
   if (options.use_subset_dp && h.num_vertices() <= kMaxGhwDpVertices &&
       !root->Stopped()) {
+    GHD_SPAN_VAR(span, "anytime", "rung:subset-dp");
     dp_width = GhwBySubsetDp(h, options.num_threads, root);
     if (dp_width.has_value()) {
+      span.SetArg("width", *dp_width);
       GHD_CHECK(*dp_width >= result.lower_bound);
       GHD_CHECK(*dp_width <= result.upper_bound);
       result.lower_bound = *dp_width;
@@ -109,6 +124,7 @@ AnytimeGhwResult AnytimeGhw(const Hypergraph& h, const AnytimeOptions& options) 
   // tick limits still bite), leaving headroom for the det-k fallback; under
   // pure tick/memory limits the root governor is shared directly.
   if (!root->Stopped()) {
+    GHD_SPAN_VAR(span, "anytime", "rung:exact-bnb");
     std::optional<Budget> slice;
     ExactGhwOptions exact_options;
     exact_options.budget = root;
@@ -127,6 +143,8 @@ AnytimeGhwResult AnytimeGhw(const Hypergraph& h, const AnytimeOptions& options) 
     Improve(&result, h, std::move(exact.best_ghd), exact.upper_bound);
     if (exact.exact) result.lower_bound = exact.upper_bound;
     Record(&result, "exact-bnb", *root);
+    span.SetArg("lb", result.lower_bound);
+    span.SetArg("ub", result.upper_bound);
   }
 
   // Rung 6: det-k-decomp fallback. Hypertree width is polynomial per k and
@@ -135,6 +153,7 @@ AnytimeGhwResult AnytimeGhw(const Hypergraph& h, const AnytimeOptions& options) 
   // hw > k implies ghw >= ceil(k/3).
   if (options.use_det_k_decomp && result.lower_bound < result.upper_bound &&
       !root->Stopped()) {
+    GHD_SPAN_VAR(span, "anytime", "rung:det-k-decomp");
     KDeciderOptions kd_options;
     kd_options.budget = root;
     kd_options.num_threads = options.num_threads;
@@ -151,6 +170,8 @@ AnytimeGhwResult AnytimeGhw(const Hypergraph& h, const AnytimeOptions& options) 
     }
     result.lower_bound = std::min(result.lower_bound, result.upper_bound);
     Record(&result, "det-k-decomp", *root);
+    span.SetArg("lb", result.lower_bound);
+    span.SetArg("ub", result.upper_bound);
   }
 
   GHD_CHECK(result.lower_bound <= result.upper_bound);

@@ -2,6 +2,7 @@
 
 #include <unordered_set>
 
+#include "obs/obs.h"
 #include "util/check.h"
 
 namespace ghd {
@@ -43,6 +44,9 @@ GuardFamily BipSubedgeClosure(const Hypergraph& h,
                options.max_union_arity, &seen, &family, options.max_guards);
     if (family.guards.size() >= options.max_guards) break;
   }
+  GHD_COUNT_N(kSubedgesGenerated,
+              family.guards.size() - static_cast<size_t>(h.num_edges()));
+  GHD_GAUGE_MAX(kMaxGuardFamily, family.guards.size());
   return family;
 }
 
@@ -65,6 +69,8 @@ GuardFamily FullSubedgeClosure(const Hypergraph& h, size_t max_guards) {
       }
     }
   }
+  GHD_COUNT_N(kSubedgesGenerated, family.guards.size());
+  GHD_GAUGE_MAX(kMaxGuardFamily, family.guards.size());
   return family;
 }
 

@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/obs.h"
 #include "setcover/set_cover.h"
 #include "td/treewidth_dp.h"
 #include "util/check.h"
@@ -30,9 +31,14 @@ std::optional<int> GhwBySubsetDp(const Hypergraph& h, int num_threads,
   std::vector<uint8_t> dp(static_cast<size_t>(full) + 1, 0);
   StripedMap<VertexSet, int, VertexSetHash> cover_cache;
   auto cover_cost = [&](const VertexSet& bag) {
-    if (const int* hit = cover_cache.Find(bag)) return *hit;
+    if (const int* hit = cover_cache.Find(bag)) {
+      GHD_COUNT(kCoverCacheHits);
+      return *hit;
+    }
+    GHD_COUNT(kCoverCacheMisses);
     auto size = ExactSetCoverSize(bag, h.edges());
     GHD_CHECK(size.has_value());
+    GHD_HISTO(kCoverSize, *size);
     return *cover_cache.Insert(bag, *size);
   };
   auto to_vertexset = [n](uint32_t mask) {
@@ -43,6 +49,7 @@ std::optional<int> GhwBySubsetDp(const Hypergraph& h, int num_threads,
     return s;
   };
   auto solve_mask = [&](uint32_t mask) {
+    GHD_COUNT(kDpCells);
     int best = h.num_edges() + 1;
     for (uint32_t bits = mask; bits != 0; bits &= bits - 1) {
       const int v = std::countr_zero(bits);
@@ -60,6 +67,8 @@ std::optional<int> GhwBySubsetDp(const Hypergraph& h, int num_threads,
 
   const int threads = ThreadPool::EffectiveThreads(num_threads);
   if (threads <= 1) {
+    GHD_SPAN_VAR(span, "ghw", "subset-dp");
+    span.SetArg("vertices", n);
     for (uint32_t mask = 1; mask <= full; ++mask) {
       if (budget != nullptr && !budget->Tick()) return std::nullopt;
       solve_mask(mask);
@@ -76,6 +85,9 @@ std::optional<int> GhwBySubsetDp(const Hypergraph& h, int num_threads,
   }
   for (int c = 1; c <= n; ++c) {
     const std::vector<uint32_t>& layer = layers[c];
+    GHD_SPAN_VAR(span, "ghw", "subset-dp-layer");
+    span.SetArg("popcount", c);
+    span.SetArg("cells", static_cast<long>(layer.size()));
     ParallelFor(
         &pool, 0, static_cast<int>(layer.size()),
         [&](int i) {

@@ -9,6 +9,7 @@
 #include "core/ghw_lower.h"
 #include "core/ghw_upper.h"
 #include "hypergraph/components.h"
+#include "obs/obs.h"
 #include "setcover/set_cover.h"
 #include "td/lower_bounds.h"
 #include "util/check.h"
@@ -56,9 +57,14 @@ struct Shared {
   // This is the same cache rule the k-decider follows for its memo — a
   // truncated run must never poison a cache entry (util/resource_governor.h).
   int ExactCoverSize(const VertexSet& bag) {
-    if (const int* hit = cover_cache.Find(bag)) return *hit;
+    if (const int* hit = cover_cache.Find(bag)) {
+      GHD_COUNT(kCoverCacheHits);
+      return *hit;
+    }
+    GHD_COUNT(kCoverCacheMisses);
     auto size = ExactSetCoverSize(bag, CoverCandidates(bag));
     GHD_CHECK(size.has_value());
+    GHD_HISTO(kCoverSize, *size);
     budget->Charge(static_cast<size_t>((bag.universe_size() + 63) / 64) * 8 +
                    sizeof(int));
     return *cover_cache.Insert(bag, *size);
@@ -72,6 +78,7 @@ struct Shared {
       return true;
     }
     nodes.fetch_add(1, std::memory_order_relaxed);
+    GHD_COUNT(kBnbNodes);
     if (!budget->Tick()) return true;
     return hit_stop_width.load(std::memory_order_relaxed);
   }
@@ -79,6 +86,7 @@ struct Shared {
   void RecordSolution(int width, std::vector<int> ordering) {
     std::lock_guard<std::mutex> lock(best_mu);
     if (width < ub.load(std::memory_order_relaxed)) {
+      GHD_COUNT(kBnbSolutions);
       ub.store(width, std::memory_order_relaxed);
       best_ordering = std::move(ordering);
     }
@@ -137,13 +145,19 @@ struct Search {
         GreedySetCover(remaining, s->CoverCandidates(remaining)).size());
     const int finish_now = std::max(width_so_far, rest_cost);
     if (finish_now < s->Ub()) AcceptSolution(finish_now, g);
-    if (rest_cost <= width_so_far) return;  // Subtree can't beat finish-now.
+    if (rest_cost <= width_so_far) {  // Subtree can't beat finish-now.
+      GHD_COUNT(kBnbPruneFinishNow);
+      return;
+    }
 
     // Node lower bound: tw bound on the residual graph, converted through
     // the k-set-cover combination.
     const int tw_lb = MinorMinWidthLowerBound(g);
     const int node_lb = GhwLowerBoundFromTwBound(*s->h, tw_lb);
-    if (std::max(width_so_far, node_lb) >= s->Ub()) return;
+    if (std::max(width_so_far, node_lb) >= s->Ub()) {
+      GHD_COUNT(kBnbPruneLowerBound);
+      return;
+    }
 
     // Simplicial reduction: eliminating a simplicial vertex first never
     // increases the best achievable cover-width of the subtree.
@@ -186,12 +200,17 @@ struct Search {
       for (size_t b = order.size(); b-- > 0;) {
         const auto [cost, v] = order[b];
         const int next_width = std::max(width_so_far, cost);
+        GHD_COUNT(kBnbRootForks);
         group.Run([this, &g, v = v, next_width] {
           if (next_width >= s->Ub()) return;
           if (s->Stopped() ||
               s->hit_stop_width.load(std::memory_order_relaxed)) {
             return;
           }
+          // Coarse per-branch span: one per root fork, so the trace shows
+          // which worker lane explored which subtree.
+          GHD_SPAN_VAR(span, "ghw", "bnb-branch");
+          span.SetArg("vertex", v);
           Search branch;
           branch.s = s;
           branch.prefix = prefix;
@@ -208,7 +227,10 @@ struct Search {
 
     for (const auto& [cost, v] : order) {
       const int next_width = std::max(width_so_far, cost);
-      if (next_width >= s->Ub()) continue;
+      if (next_width >= s->Ub()) {
+        GHD_COUNT(kBnbPruneIncumbent);
+        continue;
+      }
       Graph next = g;
       EliminateInto(&next, v);
       Recurse(next, next_width, depth + 1);
@@ -259,7 +281,11 @@ ExactGhwResult ExactGhwImpl(const Hypergraph& h, const ExactGhwOptions& options,
   root.s = &shared;
   root.alive.assign(primal.num_vertices(), 1);
   root.alive_count = primal.num_vertices();
-  root.Recurse(primal, 0, 0);
+  {
+    GHD_SPAN_VAR(span, "ghw", "exact-bnb");
+    span.SetArg("warm_ub", warm.width);
+    root.Recurse(primal, 0, 0);
+  }
 
   result.upper_bound = shared.Ub();
   result.nodes_visited = shared.nodes.load(std::memory_order_relaxed);

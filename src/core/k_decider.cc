@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/obs.h"
 #include "util/check.h"
 #include "util/striped_map.h"
 #include "util/thread_pool.h"
@@ -81,6 +82,7 @@ struct Decider {
 
   bool Tick() {
     states.fetch_add(1, std::memory_order_relaxed);
+    GHD_COUNT(kDeciderStates);
     return budget->Tick();
   }
 
@@ -135,6 +137,7 @@ struct Decider {
   bool TryLambda(const StateKey& key, const VertexSet& v_comp,
                  const std::vector<int>& lambda, const CancelToken* cancel,
                  int depth, StateValue* value) {
+    GHD_COUNT(kDeciderLambdaTried);
     VertexSet chi(h->num_vertices());
     for (int g : lambda) chi |= family->guards[g];
     chi &= v_comp;
@@ -169,6 +172,7 @@ struct Decider {
       // makes the helping waiter take the children in order.
       for (size_t c = children.size(); c-- > 0;) {
         const StateKey& child = children[c];
+        GHD_COUNT(kDeciderAndForks);
         group.Run([this, &child, &sibling_failed, &all_ok, depth] {
           if (sibling_failed.Cancelled() || OutOfBudget()) {
             all_ok.store(false, std::memory_order_relaxed);
@@ -176,6 +180,7 @@ struct Decider {
           }
           if (!Decide(child, &sibling_failed, depth + 1)) {
             all_ok.store(false, std::memory_order_relaxed);
+            GHD_COUNT(kDeciderCancels);
             sibling_failed.Fire();
           }
         });
@@ -257,6 +262,7 @@ struct Decider {
     // Reverse submission: the own-queue pop is LIFO, so the helping waiter
     // explores the partitions in heuristic order while steals take the tail.
     for (size_t i = candidates.size(); i-- > 1;) {
+      GHD_COUNT(kDeciderOrForks);
       group.Run([this, &try_partition, &winner_found, &mu, &found, &win, i] {
         if (winner_found.Cancelled() || OutOfBudget()) return;
         StateValue value;
@@ -266,6 +272,7 @@ struct Decider {
             found = true;
             win = std::move(value);
           }
+          GHD_COUNT(kDeciderCancels);
           winner_found.Fire();
         }
       });
@@ -277,7 +284,11 @@ struct Decider {
   }
 
   bool Decide(const StateKey& key, const CancelToken* cancel, int depth) {
-    if (const StateValue* hit = memo.Find(key)) return hit->exists;
+    if (const StateValue* hit = memo.Find(key)) {
+      GHD_COUNT(kDeciderMemoHits);
+      return hit->exists;
+    }
+    GHD_COUNT(kDeciderMemoMisses);
     if (cancel->Cancelled()) return false;
     if (!Tick()) return false;
 
@@ -302,22 +313,37 @@ struct Decider {
       // budget state: memoize unconditionally, so every true child a parent
       // references is resident for reconstruction.
       value.exists = true;
-      Memoize(key, std::move(value));
+      Memoize(key, std::move(value), /*truncated=*/false);
       return true;
     }
     // A false under cancellation or exhausted budget may be a truncated
     // search, not a refutation: never cache it. This is the library-wide
     // cache rule (see util/resource_governor.h): a truncated run must never
-    // poison a memo entry with an unproven refutation.
-    if (OutOfBudget() || cancel->Cancelled()) return false;
+    // poison a memo entry with an unproven refutation. The truncation test
+    // runs exactly once so that the discard decision and the soundness
+    // accounting in Memoize see the same answer.
+    const bool truncated = OutOfBudget() || cancel->Cancelled();
+    if (truncated) {
+      GHD_COUNT(kDeciderUnprovenFalse);
+      return false;
+    }
     value.exists = false;
-    Memoize(key, std::move(value));
+    Memoize(key, std::move(value), truncated);
     return false;
   }
 
   // Inserts into the memo, accounting its approximate footprint against the
   // memory budget (bitset words dominate; the map overhead is ignored).
-  void Memoize(const StateKey& key, StateValue value) {
+  // A negative value under truncation is refused outright — that would cache
+  // an unproven refutation; the refusal counter is the observable invariant
+  // (decider_memo_poisoned stays 0 as long as every caller discards
+  // truncated negatives before reaching here).
+  void Memoize(const StateKey& key, StateValue value, bool truncated) {
+    if (!value.exists && truncated) {
+      GHD_COUNT(kDeciderMemoPoisoned);
+      return;
+    }
+    GHD_COUNT(kDeciderMemoInserts);
     size_t bytes = sizeof(StateKey) + sizeof(StateValue) +
                    ApproxBytes(key.comp) + ApproxBytes(key.conn) +
                    ApproxBytes(value.chi) +
@@ -414,11 +440,15 @@ KDeciderResult DecideWidthK(const Hypergraph& h, const GuardFamily& family,
   std::vector<VertexSet> roots =
       decider.SplitComponents(VertexSet::Full(h.num_edges()),
                               VertexSet(h.num_vertices()));
+  GHD_GAUGE_MAX(kMaxGuardFamily, family.size());
   CancelToken root_scope;  // never fires: the root search runs to completion
   std::vector<StateKey> root_keys;
   bool all_ok = true;
   for (VertexSet& comp : roots) {
     StateKey key{std::move(comp), VertexSet(h.num_vertices())};
+    GHD_SPAN_VAR(span, "decider", "decide-component");
+    span.SetArg("k", k);
+    span.SetArg("edges", key.comp.Count());
     if (!decider.Decide(key, &root_scope, 0)) {
       all_ok = false;
       break;

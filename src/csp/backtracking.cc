@@ -1,5 +1,6 @@
 #include "csp/backtracking.h"
 
+#include "obs/obs.h"
 #include "util/check.h"
 
 namespace ghd {
@@ -24,6 +25,7 @@ struct Search {
     if (var == csp->num_variables()) return true;
     for (int value = 0; value < csp->domain_sizes[var]; ++value) {
       ++nodes;
+      GHD_COUNT(kCspNodes);
       if (!budget->Tick()) return false;
       assignment[var] = value;
       if (Consistent(var) && Recurse(var + 1)) return true;

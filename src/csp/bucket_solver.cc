@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
 #include "td/bucket_elimination.h"
 #include "td/ordering_heuristics.h"
 #include "util/check.h"
@@ -57,6 +58,8 @@ std::optional<std::vector<int>> SolveByBucketElimination(
       if (budget != nullptr && !budget->Tick()) return truncate();
       joined = Relation::NaturalJoin(joined, buckets[v][r]);
       ++s->joins;
+      GHD_COUNT(kCspJoins);
+      GHD_HISTO(kJoinSize, joined.size());
       // Intermediate relations are where bucket elimination blows up
       // (d^(w+1) tuples); charge their tuple storage against the governor.
       if (budget != nullptr &&
@@ -66,6 +69,7 @@ std::optional<std::vector<int>> SolveByBucketElimination(
     }
     s->max_relation_size =
         std::max(s->max_relation_size, static_cast<long>(joined.size()));
+    GHD_GAUGE_MAX(kMaxRelationSize, joined.size());
     if (joined.empty()) return std::nullopt;
     std::vector<int> remaining;
     for (int u : joined.scope()) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/ghw_lower.h"
+#include "obs/obs.h"
 
 namespace ghd {
 
@@ -23,6 +24,9 @@ HypertreeWidthResult HypertreeWidth(const Hypergraph& h, int max_k,
   // ghw <= hw, so a GHW lower bound starts the iteration.
   const int start = std::max(1, GhwLowerBound(h));
   for (int k = start; k <= max_k; ++k) {
+    GHD_COUNT(kDetKIterations);
+    GHD_SPAN_VAR(span, "htd", "det-k-decomp");
+    span.SetArg("k", k);
     KDeciderResult r = HypertreeWidthAtMost(h, k, options);
     result.states_visited += r.states_visited;
     result.outcome = r.outcome;

@@ -1,5 +1,6 @@
 #include "lp/simplex.h"
 
+#include "obs/obs.h"
 #include "util/check.h"
 
 namespace ghd {
@@ -81,6 +82,7 @@ LpResult SolvePackingLp(const PackingLp& lp, Budget* budget) {
     objective = objective - rfactor * rhs[leave];
     basis[leave] = enter;
     ++result.pivots;
+    GHD_COUNT(kLpPivots);
   }
 
   result.objective = objective;

@@ -1,0 +1,129 @@
+#include "obs/run_report.h"
+
+#include <sstream>
+
+namespace ghd {
+namespace obs {
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (c == '\n') {
+      out.append("\\n");
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+void AppendQuoted(std::string* out, const std::string& s) {
+  out->push_back('"');
+  out->append(JsonEscape(s));
+  out->push_back('"');
+}
+
+// Shared body emitter; `nl` is "\n  " for pretty output, " " for JSONL.
+std::string Render(const RunReport& r, const char* nl, const char* indent) {
+  std::string out;
+  auto key = [&](const char* k, bool first = false) {
+    if (!first) out.push_back(',');
+    out.append(nl);
+    out.append("\"");
+    out.append(k);
+    out.append("\": ");
+  };
+  out.push_back('{');
+  key("schema_version", /*first=*/true);
+  out.append(std::to_string(kRunReportSchemaVersion));
+  key("tool");
+  AppendQuoted(&out, r.tool);
+  key("command");
+  AppendQuoted(&out, r.command);
+  key("instance");
+  AppendQuoted(&out, r.instance_path);
+  key("git_describe");
+  AppendQuoted(&out, r.git_describe);
+
+  key("config");
+  out.push_back('{');
+  for (size_t i = 0; i < r.config.size(); ++i) {
+    if (i > 0) out.append(", ");
+    AppendQuoted(&out, r.config[i].first);
+    out.append(": ");
+    AppendQuoted(&out, r.config[i].second);
+  }
+  out.push_back('}');
+
+  if (r.has_stats) {
+    key("instance_stats");
+    std::ostringstream s;
+    s << "{\"vertices\": " << r.stats.num_vertices
+      << ", \"edges\": " << r.stats.num_edges << ", \"rank\": " << r.stats.rank
+      << ", \"degree\": " << r.stats.degree
+      << ", \"intersection_width\": " << r.stats.intersection_width
+      << ", \"triple_intersection_width\": "
+      << r.stats.triple_intersection_width
+      << ", \"connected\": " << (r.stats.connected ? "true" : "false") << "}";
+    out.append(s.str());
+  }
+
+  key("outcome");
+  {
+    std::ostringstream s;
+    s << "{\"status\": \"" << JsonEscape(r.status) << "\", \"stop_reason\": \""
+      << JsonEscape(r.stop_reason) << "\", \"lower_bound\": " << r.lower_bound
+      << ", \"upper_bound\": " << r.upper_bound
+      << ", \"wall_seconds\": " << r.wall_seconds << ", \"ticks\": " << r.ticks
+      << ", \"bytes_charged\": " << r.bytes_charged
+      << ", \"exit_code\": " << r.exit_code << "}";
+    out.append(s.str());
+  }
+
+  if (!r.trail.empty()) {
+    key("trail");
+    out.push_back('[');
+    for (size_t i = 0; i < r.trail.size(); ++i) {
+      const ReportTrailStep& step = r.trail[i];
+      if (i > 0) out.append(", ");
+      out.append(nl);
+      out.append(indent);
+      std::ostringstream s;
+      s << "{\"engine\": \"" << JsonEscape(step.engine)
+        << "\", \"lb\": " << step.lower_bound << ", \"ub\": "
+        << step.upper_bound << ", \"at_seconds\": " << step.at_seconds << "}";
+      out.append(s.str());
+    }
+    out.append(nl);
+    out.push_back(']');
+  }
+
+  if (r.has_counters) {
+    key("counters");
+    r.counters.AppendJson(&out);
+  }
+
+  out.append(nl[0] == '\n' ? "\n}" : "}");
+  return out;
+}
+
+}  // namespace
+
+std::string RunReport::ToJson() const {
+  return Render(*this, "\n  ", "  ") + "\n";
+}
+
+std::string RunReport::ToJsonLine() const { return Render(*this, " ", ""); }
+
+const char* BuildGitDescribe() {
+#ifdef GHD_GIT_DESCRIBE
+  return GHD_GIT_DESCRIBE;
+#else
+  return "";
+#endif
+}
+
+}  // namespace obs
+}  // namespace ghd

@@ -1,0 +1,89 @@
+// Machine-readable per-run summary: what ran, on what instance, with which
+// configuration, how it ended, and what the engines did (counter snapshot).
+//
+// The report is the reproducibility contract of a run: the header carries the
+// full resolved configuration (every flag, the seed, the thread count, the
+// build's git describe), so a run can be re-created from the report alone,
+// and the outcome section carries the certified interval plus the governor's
+// tick/memory accounting. tools/report_schema.json is the checked-in schema;
+// tools/validate_report.py validates emitted reports against it in CI.
+#ifndef GHD_OBS_RUN_REPORT_H_
+#define GHD_OBS_RUN_REPORT_H_
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "hypergraph/stats.h"
+#include "obs/counters.h"
+
+namespace ghd {
+namespace obs {
+
+/// Bump when the JSON layout changes; tools/report_schema.json must match.
+inline constexpr int kRunReportSchemaVersion = 1;
+
+/// One provenance-trail entry (mirrors core/anytime's AnytimeStep without
+/// depending on it: obs is below core in the layer order).
+struct ReportTrailStep {
+  std::string engine;
+  int lower_bound = 0;
+  int upper_bound = 0;
+  double at_seconds = 0;
+};
+
+/// The per-run summary. Fill what applies; ToJson emits only what was set
+/// (instance stats and trail are optional sections).
+struct RunReport {
+  // --- header / provenance ---
+  std::string tool = "ghd_cli";
+  std::string command;
+  std::string instance_path;
+  /// Build provenance: git describe at configure time (GHD_GIT_DESCRIBE).
+  std::string git_describe;
+  /// Full resolved configuration, flag by flag ("threads" -> "4", ...).
+  std::vector<std::pair<std::string, std::string>> config;
+
+  // --- instance ---
+  bool has_stats = false;
+  HypergraphStats stats;
+
+  // --- outcome ---
+  /// "exact", "truncated", or "error".
+  std::string status;
+  /// Stable StopReasonName when truncated, "none" otherwise.
+  std::string stop_reason = "none";
+  int lower_bound = 0;
+  int upper_bound = 0;
+  double wall_seconds = 0;
+  long ticks = 0;
+  size_t bytes_charged = 0;
+  int exit_code = 0;
+
+  // --- ladder provenance (anytime runs) ---
+  std::vector<ReportTrailStep> trail;
+
+  // --- engine counters ---
+  bool has_counters = false;
+  CounterSnapshot counters;
+
+  /// Adds one resolved-config entry.
+  void AddConfig(std::string key, std::string value) {
+    config.emplace_back(std::move(key), std::move(value));
+  }
+
+  /// The report as a pretty-printed JSON object (one per run).
+  std::string ToJson() const;
+  /// The report as one JSONL line (compact; for appending to run logs).
+  std::string ToJsonLine() const;
+};
+
+/// The build's `git describe --always --dirty` captured at configure time,
+/// or "" when the build was not configured inside a git checkout.
+const char* BuildGitDescribe();
+
+}  // namespace obs
+}  // namespace ghd
+
+#endif  // GHD_OBS_RUN_REPORT_H_

@@ -1,0 +1,193 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+namespace ghd {
+namespace obs {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Bounded per-thread span ring. Guarded by a mutex that is uncontended on
+// the recording thread (the exporter takes it only while draining).
+struct Ring {
+  explicit Ring(int lane, size_t capacity) : lane(lane), capacity(capacity) {}
+  const int lane;
+  const size_t capacity;
+  std::mutex mu;
+  std::vector<TraceEvent> events;  // ring storage, up to `capacity`
+  size_t next = 0;                 // overwrite cursor once full
+  long dropped = 0;                // events overwritten
+
+  void Push(const TraceEvent& e) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (events.size() < capacity) {
+      events.push_back(e);
+      return;
+    }
+    events[next] = e;
+    next = (next + 1) % capacity;
+    ++dropped;
+  }
+};
+
+struct TraceRegistry {
+  std::mutex mu;
+  std::vector<Ring*> rings;  // rings of the current trace; never destroyed
+  int next_lane = 0;
+  size_t ring_capacity = 1 << 16;
+  Clock::time_point epoch = Clock::now();
+};
+
+TraceRegistry& GetTraceRegistry() {
+  static TraceRegistry* registry = new TraceRegistry;  // outlives all threads
+  return *registry;
+}
+
+// Thread-local handle: owns nothing (the registry keeps the ring alive so
+// the exporter can read events of exited threads), but detaches on thread
+// exit so a re-enable can hand the thread a fresh ring.
+struct RingHandle {
+  Ring* ring = nullptr;
+  uint64_t generation = 0;
+  ~RingHandle() { ring = nullptr; }
+};
+
+std::atomic<uint64_t> g_generation{0};
+
+Ring& LocalRing() {
+  thread_local RingHandle handle;
+  const uint64_t generation = g_generation.load(std::memory_order_acquire);
+  if (handle.ring == nullptr || handle.generation != generation) {
+    TraceRegistry& r = GetTraceRegistry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    handle.ring = new Ring(r.next_lane++, r.ring_capacity);
+    handle.generation = generation;
+    r.rings.push_back(handle.ring);
+  }
+  return *handle.ring;
+}
+
+std::string JsonEscape(const char* s) {
+  std::string out;
+  for (; s != nullptr && *s != '\0'; ++s) {
+    if (*s == '"' || *s == '\\') out.push_back('\\');
+    out.push_back(*s);
+  }
+  return out;
+}
+
+}  // namespace
+
+namespace internal {
+
+std::atomic<bool> g_tracing_enabled{false};
+
+int64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             Clock::now() - GetTraceRegistry().epoch)
+      .count();
+}
+
+void RecordEvent(const TraceEvent& event) {
+  if (!g_tracing_enabled.load(std::memory_order_relaxed)) return;
+  TraceEvent stamped = event;
+  Ring& ring = LocalRing();
+  stamped.lane = ring.lane;
+  ring.Push(stamped);
+}
+
+}  // namespace internal
+
+void EnableTracing(size_t ring_capacity) {
+  TraceRegistry& r = GetTraceRegistry();
+  {
+    std::lock_guard<std::mutex> lock(r.mu);
+    // Retire every current ring: threads re-attach lazily to fresh rings, so
+    // a new trace starts empty without racing recorders.
+    // Old rings are intentionally leaked, never freed: an exiting thread or
+    // an in-flight Push may still touch one; the generation bump stops any
+    // *new* events from landing there. The leak is bounded by Enable calls.
+    r.rings.clear();
+    r.next_lane = 0;
+    r.ring_capacity = ring_capacity == 0 ? 1 : ring_capacity;
+    r.epoch = Clock::now();
+  }
+  g_generation.fetch_add(1, std::memory_order_release);
+  internal::g_tracing_enabled.store(true, std::memory_order_release);
+}
+
+void DisableTracing() {
+  internal::g_tracing_enabled.store(false, std::memory_order_release);
+}
+
+bool TracingEnabled() {
+  return internal::g_tracing_enabled.load(std::memory_order_relaxed);
+}
+
+size_t TraceEventCount() {
+  TraceRegistry& r = GetTraceRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  size_t total = 0;
+  for (Ring* ring : r.rings) {
+    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    total += ring->events.size();
+  }
+  return total;
+}
+
+void WriteChromeTrace(std::ostream& out) {
+  TraceRegistry& r = GetTraceRegistry();
+  std::vector<Ring*> rings;
+  {
+    std::lock_guard<std::mutex> lock(r.mu);
+    rings = r.rings;
+  }
+  out << "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [\n";
+  bool first = true;
+  for (Ring* ring : rings) {
+    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    if (ring->events.empty()) continue;
+    // One lane-name metadata event per thread that recorded anything.
+    if (!ring->events.empty()) {
+      if (!first) out << ",\n";
+      first = false;
+      out << "    {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+             "\"tid\": "
+          << ring->lane << ", \"args\": {\"name\": \"lane-" << ring->lane
+          << (ring->dropped > 0
+                  ? " (+" + std::to_string(ring->dropped) + " dropped)"
+                  : "")
+          << "\"}}";
+    }
+    for (const TraceEvent& e : ring->events) {
+      out << ",\n    {\"name\": \"" << JsonEscape(e.name) << "\", \"cat\": \""
+          << JsonEscape(e.category) << "\", \"ph\": \"X\", \"ts\": "
+          << e.start_us << ", \"dur\": " << e.duration_us
+          << ", \"pid\": 1, \"tid\": " << e.lane;
+      if (e.arg_keys[0] != nullptr) {
+        out << ", \"args\": {\"" << JsonEscape(e.arg_keys[0])
+            << "\": " << e.arg_values[0];
+        if (e.arg_keys[1] != nullptr) {
+          out << ", \"" << JsonEscape(e.arg_keys[1])
+              << "\": " << e.arg_values[1];
+        }
+        out << "}";
+      }
+      out << "}";
+    }
+  }
+  out << "\n  ]\n}\n";
+}
+
+std::string TraceToJson() {
+  std::ostringstream out;
+  WriteChromeTrace(out);
+  return out.str();
+}
+
+}  // namespace obs
+}  // namespace ghd

@@ -34,6 +34,7 @@ LocalSearchResult ImproveOrdering(int num_vertices, const Graph& primal,
   ++best.evaluations;
 
   for (int restart = 0; restart < std::max(1, options.restarts); ++restart) {
+    if (options.budget != nullptr && options.budget->Stopped()) break;
     std::vector<int> current = best.ordering;
     if (restart > 0) {
       // Perturb the incumbent with a handful of random insertions.
@@ -45,6 +46,7 @@ LocalSearchResult ImproveOrdering(int num_vertices, const Graph& primal,
     int current_width = width_fn(current, -1);
     ++best.evaluations;
     for (int move = 0; move < options.max_moves; ++move) {
+      if (options.budget != nullptr && !options.budget->Tick()) return best;
       std::vector<int> candidate = current;
       // Mostly insertions; occasionally adjacent swaps for fine-grained
       // changes.

@@ -13,6 +13,7 @@
 #include "core/ghw_upper.h"
 #include "graph/graph.h"
 #include "hypergraph/hypergraph.h"
+#include "util/resource_governor.h"
 
 namespace ghd {
 
@@ -24,6 +25,9 @@ struct LocalSearchOptions {
   /// perturbed incumbents).
   int restarts = 3;
   uint64_t seed = 1;
+  /// Optional shared governor: one tick per move, and a stopped budget ends
+  /// the search with the best-so-far result (anytime contract).
+  Budget* budget = nullptr;
 };
 
 /// Best ordering found and its width.

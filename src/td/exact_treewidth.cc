@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
 #include "td/bucket_elimination.h"
 #include "td/lower_bounds.h"
 #include "td/ordering_heuristics.h"
@@ -35,6 +36,7 @@ struct Search {
   // eliminated, `width_so_far` the max elimination degree seen on this path.
   void Recurse(const Graph& g, int width_so_far) {
     ++nodes;
+    GHD_COUNT(kTwNodes);
     if (!budget->Tick()) return;
     // Pruning rule 1: eliminating the rest in any order costs at most
     // max(width_so_far, alive_count - 1).
@@ -56,6 +58,7 @@ struct Search {
             g.IsSimplicial(v) ||
             (d <= h && g.IsAlmostSimplicial(v));
         if (reducible) {
+          GHD_COUNT(kTwReductions);
           if (std::max(width_so_far, d) >= ub) return;
           Graph next = g;
           next.EliminateVertex(v);
@@ -133,7 +136,11 @@ ExactTreewidthResult ExactTreewidth(const Graph& g,
     return result;
   }
 
-  search.Recurse(g, 0);
+  {
+    GHD_SPAN_VAR(span, "tw", "exact-treewidth");
+    span.SetArg("vertices", n);
+    search.Recurse(g, 0);
+  }
 
   result.upper_bound = search.ub;
   result.best_ordering = search.best_ordering;

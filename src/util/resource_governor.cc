@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <limits>
 
+#include "obs/obs.h"
+
 namespace ghd {
 
 const char* StopReasonName(StopReason reason) {
@@ -65,12 +67,15 @@ void Budget::AttachParent(Budget* parent) { parent_ = parent; }
 
 void Budget::Stop(StopReason reason) {
   int expected = static_cast<int>(StopReason::kNone);
-  reason_.compare_exchange_strong(expected, static_cast<int>(reason),
-                                  std::memory_order_relaxed);
+  if (reason_.compare_exchange_strong(expected, static_cast<int>(reason),
+                                      std::memory_order_relaxed)) {
+    GHD_COUNT(kGovernorStops);
+  }
 }
 
 bool Budget::Tick() {
   if (parent_ != nullptr) parent_->Tick();
+  GHD_COUNT(kGovernorTicks);
   const long n = ticks_.fetch_add(1, std::memory_order_relaxed) + 1;
   // Exact integer limits first: fault injection fires at precisely the nth
   // tick so test sweeps are deterministic, and the tick budget is off by at
@@ -90,6 +95,7 @@ bool Budget::Charge(size_t bytes) {
   if (parent_ != nullptr) parent_->Charge(bytes);
   const size_t total = bytes_.fetch_add(bytes, std::memory_order_relaxed) +
                        bytes;
+  GHD_GAUGE_MAX(kPeakBytesCharged, total);
   if (memory_budget_ > 0 && total > memory_budget_) {
     Stop(StopReason::kMemoryBudget);
   }

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/obs.h"
 #include "util/check.h"
 
 namespace ghd {
@@ -44,6 +45,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Submit(std::function<void()> fn) {
   GHD_DCHECK(parallel());
+  GHD_COUNT(kPoolSubmits);
   int target;
   if (tls_pool == this && tls_worker >= 0) {
     target = tls_worker;  // Local push: LIFO pop keeps forks cache-hot.
@@ -69,6 +71,7 @@ std::function<void()> ThreadPool::NextTask(int self_index) {
     if (!own.tasks.empty()) {
       std::function<void()> fn = std::move(own.tasks.back());
       own.tasks.pop_back();
+      GHD_COUNT(kPoolLocalPops);
       return fn;
     }
   }
@@ -83,6 +86,7 @@ std::function<void()> ThreadPool::NextTask(int self_index) {
     if (!victim.tasks.empty()) {
       std::function<void()> fn = std::move(victim.tasks.front());
       victim.tasks.pop_front();
+      GHD_COUNT(kPoolSteals);
       return fn;
     }
   }

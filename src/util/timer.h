@@ -1,4 +1,5 @@
-// Wall-clock timing and cooperative deadlines for anytime solvers.
+// Wall-clock timing. Cooperative deadlines/limits live in
+// util/resource_governor.h (Budget), which every engine polls.
 #ifndef GHD_UTIL_TIMER_H_
 #define GHD_UTIL_TIMER_H_
 
@@ -22,24 +23,6 @@ class WallTimer {
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
-};
-
-/// Deadline for branch-and-bound style solvers: the solver polls Expired()
-/// periodically and returns its best-so-far answer when time runs out.
-class Deadline {
- public:
-  /// No limit.
-  Deadline() = default;
-  /// Limit of `seconds` from now; non-positive means no limit.
-  explicit Deadline(double seconds) : limit_seconds_(seconds) {}
-
-  bool Expired() const {
-    return limit_seconds_ > 0 && timer_.ElapsedSeconds() >= limit_seconds_;
-  }
-
- private:
-  WallTimer timer_;
-  double limit_seconds_ = 0;
 };
 
 }  // namespace ghd

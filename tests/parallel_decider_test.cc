@@ -15,6 +15,7 @@
 #include "gtest/gtest.h"
 #include "htd/det_k_decomp.h"
 #include "hypergraph/hypergraph_builder.h"
+#include "obs/obs.h"
 
 namespace ghd {
 namespace {
@@ -120,6 +121,34 @@ TEST(ParallelDeciderTest, ExactGhwComponentwiseParallelParts) {
     ASSERT_TRUE(r.best_ghd.Validate(h).ok()) << "threads=" << threads;
   }
 }
+
+#if GHD_OBS_ENABLED
+TEST(ParallelDeciderTest, ParallelRunsNeverMemoizeUnsoundNegatives) {
+  // The decider must refuse to cache a "no" computed under truncation or
+  // cancellation (a sibling's cancel token firing mid-search): such a cache
+  // entry would poison later lookups. The kDeciderMemoPoisoned counter tallies
+  // exactly those refused insertions at the one choke point, so it must stay 0
+  // whatever the schedule — including budget-truncated parallel runs.
+  obs::EnableCounters(true);
+  for (const Hypergraph& h : AgreementInstances()) {
+    for (int threads : kThreadCounts) {
+      for (long budget : {200L, 0L}) {  // truncated and unbounded
+        obs::ResetCounters();
+        KDeciderOptions options;
+        options.num_threads = threads;
+        if (budget > 0) options.state_budget = budget;
+        HypertreeWidth(h, 0, options);
+        const obs::CounterSnapshot s = obs::SnapshotCounters();
+        EXPECT_EQ(s.counter(obs::Counter::kDeciderMemoPoisoned), 0)
+            << "threads=" << threads << " budget=" << budget;
+        EXPECT_GT(s.counter(obs::Counter::kDeciderStates), 0);
+      }
+    }
+  }
+  obs::ResetCounters();
+  obs::EnableCounters(false);
+}
+#endif  // GHD_OBS_ENABLED
 
 TEST(ParallelDeciderTest, SubsetDpAgreesAcrossThreadCounts) {
   int compared = 0;

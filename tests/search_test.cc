@@ -81,6 +81,35 @@ TEST(LocalSearchTest, DeterministicPerSeed) {
   EXPECT_EQ(a.ordering, b.ordering);
 }
 
+TEST(LocalSearchTest, BudgetTruncatesButKeepsValidResult) {
+  Graph g = RandomGraph(18, 0.3, 3);
+  Budget budget;
+  budget.SetTickBudget(10);  // a handful of moves, then stop
+  LocalSearchOptions options;
+  options.budget = &budget;
+  options.max_moves = 5000;
+  options.restarts = 4;
+  LocalSearchResult r = TreewidthLocalSearch(g, options);
+  EXPECT_TRUE(budget.Stopped());
+  EXPECT_EQ(budget.reason(), StopReason::kTickBudget);
+  // Best-so-far contract: the truncated result is still a valid ordering, at
+  // least as good as the min-fill warm start.
+  EXPECT_TRUE(IsValidOrdering(g, r.ordering));
+  EXPECT_LE(r.width, EliminationWidth(g, MinFillOrdering(g)));
+}
+
+TEST(LocalSearchTest, StoppedBudgetSkipsAllMoves) {
+  Graph g = RandomGraph(14, 0.3, 5);
+  Budget budget;
+  budget.Cancel();
+  LocalSearchOptions options;
+  options.budget = &budget;
+  LocalSearchResult r = TreewidthLocalSearch(g, options);
+  // Only the warm-start evaluations happen (initial + first restart's).
+  EXPECT_LE(r.evaluations, 2);
+  EXPECT_TRUE(IsValidOrdering(g, r.ordering));
+}
+
 TEST(LocalSearchTest, TinyGraphs) {
   Graph empty(0);
   EXPECT_EQ(TreewidthLocalSearch(empty).width, 0);

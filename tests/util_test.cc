@@ -269,17 +269,6 @@ TEST(TimerTest, WallTimerAdvances) {
   EXPECT_LT(t.ElapsedSeconds(), 1.0);
 }
 
-TEST(TimerTest, DeadlineSemantics) {
-  Deadline unlimited;
-  EXPECT_FALSE(unlimited.Expired());
-  Deadline generous(3600.0);
-  EXPECT_FALSE(generous.Expired());
-  Deadline instant(1e-9);
-  volatile long sink = 0;
-  for (long i = 0; i < 100000; ++i) sink = sink + i;
-  EXPECT_TRUE(instant.Expired());
-}
-
 TEST(TableTest, DoubleCell) {
   EXPECT_EQ(Table::Cell(1.23456, 2), "1.23");
   EXPECT_EQ(Table::Cell(7), "7");

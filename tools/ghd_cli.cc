@@ -17,6 +17,16 @@
 //   --timeout-ms N   wall-clock deadline for the budgeted commands; overrides
 //                    the positional seconds budget
 //   --memory-mb N    approximate memory budget for the search caches
+//   --seed N         RNG seed for the randomized heuristics (default 1)
+//   --counters       print the engine counter table to stderr after the run
+//   --trace-out=F    write a Chrome trace_event JSON (chrome://tracing,
+//                    Perfetto) of the run's spans, one lane per thread
+//   --report-out=F   write the machine-readable RunReport JSON (schema in
+//                    tools/report_schema.json)
+//   --verbose        echo the full resolved configuration to stderr
+//
+// The observability flags need a build with GHD_OBS=ON (the default); a
+// GHD_OBS=OFF binary warns and ignores them. See docs/OBSERVABILITY.md.
 //
 // All budgeted commands share one resource governor: SIGINT cancels it
 // cooperatively, and the best validated bounds found so far are still
@@ -26,6 +36,7 @@
 // Files use the HyperBench / detkdecomp .hg format.
 #include <csignal>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -41,11 +52,16 @@
 #include "hypergraph/dot_export.h"
 #include "hypergraph/hg_io.h"
 #include "hypergraph/stats.h"
+#include "obs/obs.h"
 #include "td/bucket_elimination.h"
 #include "td/exact_treewidth.h"
 #include "td/pace_io.h"
 #include "td/ordering_heuristics.h"
 #include "util/resource_governor.h"
+
+#if GHD_OBS_ENABLED
+#include "obs/run_report.h"
+#endif
 
 namespace {
 
@@ -66,9 +82,19 @@ int Usage() {
   std::cerr
       << "usage: ghd_cli <stats|bounds|ghw|anytime|hw|tw|fhw|components|td|"
          "decompose>\n               <file.hg> [budget] [--threads N] "
-         "[--timeout-ms N] [--memory-mb N]\n";
+         "[--timeout-ms N] [--memory-mb N] [--seed N]\n               "
+         "[--counters] [--trace-out=FILE] [--report-out=FILE] [--verbose]\n";
   return kExitUsage;
 }
+
+// Everything the epilogue needs to assemble a RunReport, collected by the
+// command branches without referencing the obs API (so a GHD_OBS=OFF build
+// compiles the branches unchanged).
+struct CliRun {
+  int lower_bound = 0;
+  int upper_bound = 0;
+  std::vector<ghd::AnytimeStep> trail;
+};
 
 }  // namespace
 
@@ -78,6 +104,11 @@ int main(int argc, char** argv) {
   int num_threads = 1;
   long timeout_ms = 0;
   long memory_mb = 0;
+  long seed = 1;
+  bool want_counters = false;
+  bool verbose = false;
+  std::string trace_out;
+  std::string report_out;
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -94,12 +125,33 @@ int main(int argc, char** argv) {
       }
       return false;
     };
+    auto string_flag = [&](const char* name, std::string* out) {
+      const std::string prefix = std::string(name) + "=";
+      if (arg == name) {
+        if (i + 1 >= argc) return false;
+        *out = argv[++i];
+        return true;
+      }
+      if (arg.rfind(prefix, 0) == 0) {
+        *out = arg.substr(prefix.size());
+        return true;
+      }
+      return false;
+    };
     long threads_value = 0;
     if (long_flag("--threads", &threads_value)) {
       num_threads = static_cast<int>(threads_value);
     } else if (long_flag("--timeout-ms", &timeout_ms) ||
-               long_flag("--memory-mb", &memory_mb)) {
+               long_flag("--memory-mb", &memory_mb) ||
+               long_flag("--seed", &seed)) {
       if (timeout_ms < 0 || memory_mb < 0) return Usage();
+    } else if (string_flag("--trace-out", &trace_out) ||
+               string_flag("--report-out", &report_out)) {
+      // handled in the epilogue
+    } else if (arg == "--counters") {
+      want_counters = true;
+    } else if (arg == "--verbose") {
+      verbose = true;
     } else if (arg.rfind("--", 0) == 0) {
       return Usage();
     } else {
@@ -108,6 +160,28 @@ int main(int argc, char** argv) {
   }
   if (args.size() < 2) return Usage();
   const std::string command = args[0];
+
+#if GHD_OBS_ENABLED
+  if (want_counters || !report_out.empty()) obs::EnableCounters(true);
+  if (!trace_out.empty()) obs::EnableTracing();
+#else
+  if (want_counters || !report_out.empty() || !trace_out.empty()) {
+    std::cerr << "warning: this binary was built with GHD_OBS=OFF; "
+                 "--counters/--trace-out/--report-out are ignored\n";
+  }
+#endif
+
+  if (verbose) {
+    std::cerr << "config: command=" << command << " instance=" << args[1]
+              << " threads=" << num_threads << " seed=" << seed
+              << " timeout_ms=" << timeout_ms << " memory_mb=" << memory_mb
+              << " budget_arg=" << (args.size() > 2 ? args[2] : "(default)")
+#if GHD_OBS_ENABLED
+              << " git=" << obs::BuildGitDescribe()
+#endif
+              << "\n";
+  }
+
   Result<Hypergraph> parsed = LoadHg(args[1]);
   if (!parsed.ok()) {
     std::cerr << "error: " << parsed.status().ToString() << "\n";
@@ -129,118 +203,211 @@ int main(int argc, char** argv) {
   g_budget = &governor;
   std::signal(SIGINT, HandleSigint);
 
-  if (command == "stats") {
-    std::cout << StatsToString(ComputeStats(h)) << "\n";
-    std::cout << (IsAlphaAcyclic(h) ? "alpha-acyclic (ghw = 1)"
-                                    : "cyclic (ghw >= 2)")
-              << "\n";
-    return kExitDecided;
-  }
-  if (command == "bounds") {
-    GhwUpperBoundResult ub = GhwUpperBoundMultiRestart(h, 8, 1, CoverMode::kExact);
-    std::cout << "ghw lower bound: " << GhwLowerBound(h) << "\n";
-    std::cout << "ghw upper bound: " << ub.width << "\n";
-    return kExitDecided;
-  }
-  if (command == "ghw") {
-    governor.SetDeadlineSeconds(deadline_seconds > 0 ? deadline_seconds
-                                                     : budget_arg);
-    ExactGhwOptions options;
-    options.budget = &governor;
-    options.num_threads = num_threads;
-    ExactGhwResult r = ExactGhwComponentwise(h, options);
-    if (r.exact) {
-      std::cout << "ghw = " << r.upper_bound << "\n";
+  CliRun run;
+  auto dispatch = [&]() -> int {
+    if (command == "stats") {
+      std::cout << StatsToString(ComputeStats(h)) << "\n";
+      std::cout << (IsAlphaAcyclic(h) ? "alpha-acyclic (ghw = 1)"
+                                      : "cyclic (ghw >= 2)")
+                << "\n";
       return kExitDecided;
     }
-    std::cout << "ghw in [" << r.lower_bound << ", " << r.upper_bound << "] ("
-              << StopReasonName(r.outcome.stop_reason) << ")\n";
-    return kExitTruncated;
-  }
-  if (command == "anytime") {
-    AnytimeOptions options;
-    options.budget = &governor;
-    if (deadline_seconds > 0) governor.SetDeadlineSeconds(deadline_seconds);
-    options.num_threads = num_threads;
-    AnytimeGhwResult r = AnytimeGhw(h, options);
-    if (r.exact) {
-      std::cout << "ghw = " << r.upper_bound << "\n";
-    } else {
+    if (command == "bounds") {
+      GhwUpperBoundResult ub = GhwUpperBoundMultiRestart(
+          h, 8, static_cast<uint64_t>(seed), CoverMode::kExact);
+      run.lower_bound = GhwLowerBound(h);
+      run.upper_bound = ub.width;
+      std::cout << "ghw lower bound: " << run.lower_bound << "\n";
+      std::cout << "ghw upper bound: " << run.upper_bound << "\n";
+      return kExitDecided;
+    }
+    if (command == "ghw") {
+      governor.SetDeadlineSeconds(deadline_seconds > 0 ? deadline_seconds
+                                                       : budget_arg);
+      ExactGhwOptions options;
+      options.budget = &governor;
+      options.num_threads = num_threads;
+      options.seed = static_cast<uint64_t>(seed);
+      ExactGhwResult r = ExactGhwComponentwise(h, options);
+      run.lower_bound = r.lower_bound;
+      run.upper_bound = r.upper_bound;
+      if (r.exact) {
+        std::cout << "ghw = " << r.upper_bound << "\n";
+        return kExitDecided;
+      }
       std::cout << "ghw in [" << r.lower_bound << ", " << r.upper_bound
                 << "] (" << StopReasonName(r.outcome.stop_reason) << ")\n";
+      return kExitTruncated;
     }
-    std::cerr << "ladder:\n";
-    for (const AnytimeStep& step : r.trail) {
-      std::cerr << "  " << step.engine << " -> [" << step.lower_bound << ", "
-                << step.upper_bound << "] @" << step.at_seconds << "s\n";
+    if (command == "anytime") {
+      AnytimeOptions options;
+      options.budget = &governor;
+      if (deadline_seconds > 0) governor.SetDeadlineSeconds(deadline_seconds);
+      options.num_threads = num_threads;
+      options.seed = static_cast<uint64_t>(seed);
+      AnytimeGhwResult r = AnytimeGhw(h, options);
+      run.lower_bound = r.lower_bound;
+      run.upper_bound = r.upper_bound;
+      run.trail = r.trail;
+      if (r.exact) {
+        std::cout << "ghw = " << r.upper_bound << "\n";
+      } else {
+        std::cout << "ghw in [" << r.lower_bound << ", " << r.upper_bound
+                  << "] (" << StopReasonName(r.outcome.stop_reason) << ")\n";
+      }
+      std::cerr << "ladder:\n";
+      for (const AnytimeStep& step : r.trail) {
+        std::cerr << "  " << step.engine << " -> [" << step.lower_bound
+                  << ", " << step.upper_bound << "] @" << step.at_seconds
+                  << "s\n";
+      }
+      return r.exact ? kExitDecided : kExitTruncated;
     }
-    return r.exact ? kExitDecided : kExitTruncated;
-  }
-  if (command == "hw") {
-    if (deadline_seconds > 0) {
-      governor.SetDeadlineSeconds(deadline_seconds);
-    } else {
-      governor.SetTickBudget(args.size() > 2 ? std::atol(args[2].c_str())
-                                             : 2000000);
+    if (command == "hw") {
+      if (deadline_seconds > 0) {
+        governor.SetDeadlineSeconds(deadline_seconds);
+      } else {
+        governor.SetTickBudget(args.size() > 2 ? std::atol(args[2].c_str())
+                                               : 2000000);
+      }
+      KDeciderOptions options;
+      options.budget = &governor;
+      options.num_threads = num_threads;
+      HypertreeWidthResult r = HypertreeWidth(h, 0, options);
+      if (r.exact) {
+        run.lower_bound = run.upper_bound = r.width;
+        std::cout << "hw = " << r.width << "\n";
+        return kExitDecided;
+      }
+      run.lower_bound = r.last_failed_k + 1;
+      run.upper_bound = h.num_edges();
+      std::cout << "hw > " << r.last_failed_k << " ("
+                << StopReasonName(r.outcome.stop_reason) << ")\n";
+      return kExitTruncated;
     }
-    KDeciderOptions options;
-    options.budget = &governor;
-    options.num_threads = num_threads;
-    HypertreeWidthResult r = HypertreeWidth(h, 0, options);
-    if (r.exact) {
-      std::cout << "hw = " << r.width << "\n";
+    if (command == "fhw") {
+      const Rational fhw = FhwUpperBound(h, OrderingHeuristic::kMinFill);
+      std::cout << "fhw <= " << fhw.ToString() << "\n";
       return kExitDecided;
     }
-    std::cout << "hw > " << r.last_failed_k << " ("
-              << StopReasonName(r.outcome.stop_reason) << ")\n";
-    return kExitTruncated;
-  }
-  if (command == "fhw") {
-    const Rational fhw = FhwUpperBound(h, OrderingHeuristic::kMinFill);
-    std::cout << "fhw <= " << fhw.ToString() << "\n";
-    return kExitDecided;
-  }
-  if (command == "tw") {
-    governor.SetDeadlineSeconds(deadline_seconds > 0 ? deadline_seconds
-                                                     : budget_arg);
-    ExactTreewidthOptions options;
-    options.budget = &governor;
-    ExactTreewidthResult r = ExactTreewidth(h.PrimalGraph(), options);
-    if (r.exact) {
-      std::cout << "tw = " << r.upper_bound << "\n";
+    if (command == "tw") {
+      governor.SetDeadlineSeconds(deadline_seconds > 0 ? deadline_seconds
+                                                       : budget_arg);
+      ExactTreewidthOptions options;
+      options.budget = &governor;
+      ExactTreewidthResult r = ExactTreewidth(h.PrimalGraph(), options);
+      run.lower_bound = r.lower_bound;
+      run.upper_bound = r.upper_bound;
+      if (r.exact) {
+        std::cout << "tw = " << r.upper_bound << "\n";
+        return kExitDecided;
+      }
+      std::cout << "tw in [" << r.lower_bound << ", " << r.upper_bound
+                << "] (" << StopReasonName(r.outcome.stop_reason) << ")\n";
+      return kExitTruncated;
+    }
+    if (command == "td") {
+      const Graph primal = h.PrimalGraph();
+      TreeDecomposition td = TdFromOrdering(primal, MinFillOrdering(primal));
+      std::cout << WritePaceTreeDecomposition(td, primal.num_vertices());
+      std::cerr << "width " << td.Width() << " (min-fill heuristic)\n";
+      run.lower_bound = 0;
+      run.upper_bound = td.Width();
       return kExitDecided;
     }
-    std::cout << "tw in [" << r.lower_bound << ", " << r.upper_bound << "] ("
-              << StopReasonName(r.outcome.stop_reason) << ")\n";
-    return kExitTruncated;
-  }
-  if (command == "td") {
-    const Graph primal = h.PrimalGraph();
-    TreeDecomposition td = TdFromOrdering(primal, MinFillOrdering(primal));
-    std::cout << WritePaceTreeDecomposition(td, primal.num_vertices());
-    std::cerr << "width " << td.Width() << " (min-fill heuristic)\n";
-    return kExitDecided;
-  }
-  if (command == "components") {
-    const auto parts = SplitIntoComponents(h);
-    std::cout << parts.size() << " connected component(s)\n";
-    for (size_t p = 0; p < parts.size(); ++p) {
-      std::cout << "  [" << p << "] "
-                << StatsToString(ComputeStats(parts[p])) << "\n";
+    if (command == "components") {
+      const auto parts = SplitIntoComponents(h);
+      std::cout << parts.size() << " connected component(s)\n";
+      for (size_t p = 0; p < parts.size(); ++p) {
+        std::cout << "  [" << p << "] "
+                  << StatsToString(ComputeStats(parts[p])) << "\n";
+      }
+      return kExitDecided;
     }
-    return kExitDecided;
+    if (command == "decompose") {
+      governor.SetDeadlineSeconds(deadline_seconds > 0 ? deadline_seconds
+                                                       : budget_arg);
+      ExactGhwOptions options;
+      options.budget = &governor;
+      options.num_threads = num_threads;
+      options.seed = static_cast<uint64_t>(seed);
+      ExactGhwResult r = ExactGhw(h, options);
+      run.lower_bound = r.lower_bound;
+      run.upper_bound = r.upper_bound;
+      std::cout << GhdToDot(h, r.best_ghd);
+      std::cerr << "width " << r.best_ghd.Width()
+                << (r.exact ? " (optimal)" : " (best found)") << "\n";
+      return r.exact ? kExitDecided : kExitTruncated;
+    }
+    return Usage();
+  };
+  const int exit_code = dispatch();
+
+#if GHD_OBS_ENABLED
+  if (!trace_out.empty()) {
+    obs::DisableTracing();
+    std::ofstream out(trace_out);
+    if (!out) {
+      std::cerr << "error: cannot write trace to " << trace_out << "\n";
+      return kExitError;
+    }
+    obs::WriteChromeTrace(out);
+    if (verbose) {
+      std::cerr << "trace: " << obs::TraceEventCount() << " span(s) -> "
+                << trace_out << "\n";
+    }
   }
-  if (command == "decompose") {
-    governor.SetDeadlineSeconds(deadline_seconds > 0 ? deadline_seconds
-                                                     : budget_arg);
-    ExactGhwOptions options;
-    options.budget = &governor;
-    options.num_threads = num_threads;
-    ExactGhwResult r = ExactGhw(h, options);
-    std::cout << GhdToDot(h, r.best_ghd);
-    std::cerr << "width " << r.best_ghd.Width()
-              << (r.exact ? " (optimal)" : " (best found)") << "\n";
-    return r.exact ? kExitDecided : kExitTruncated;
+  if (want_counters || !report_out.empty()) {
+    const obs::CounterSnapshot snapshot = obs::SnapshotCounters();
+    if (want_counters) {
+      std::cerr << "counters:\n" << snapshot.ToTable();
+    }
+    if (!report_out.empty() && exit_code != kExitUsage) {
+      obs::RunReport report;
+      report.command = command;
+      report.instance_path = args[1];
+      report.git_describe = obs::BuildGitDescribe();
+      report.AddConfig("threads", std::to_string(num_threads));
+      report.AddConfig("seed", std::to_string(seed));
+      report.AddConfig("timeout_ms", std::to_string(timeout_ms));
+      report.AddConfig("memory_mb", std::to_string(memory_mb));
+      report.AddConfig("budget_arg",
+                       args.size() > 2 ? args[2] : std::string("default"));
+      report.AddConfig("counters", want_counters ? "true" : "false");
+      report.AddConfig("trace_out", trace_out);
+      report.has_stats = true;
+      report.stats = ComputeStats(h);
+      report.status = exit_code == kExitDecided    ? "exact"
+                      : exit_code == kExitTruncated ? "truncated"
+                                                    : "error";
+      report.stop_reason = StopReasonName(governor.reason());
+      report.lower_bound = run.lower_bound;
+      report.upper_bound = run.upper_bound;
+      report.wall_seconds = governor.ElapsedSeconds();
+      report.ticks = governor.ticks_used();
+      report.bytes_charged = governor.bytes_charged();
+      report.exit_code = exit_code;
+      for (const AnytimeStep& step : run.trail) {
+        obs::ReportTrailStep t;
+        t.engine = step.engine;
+        t.lower_bound = step.lower_bound;
+        t.upper_bound = step.upper_bound;
+        t.at_seconds = step.at_seconds;
+        report.trail.push_back(std::move(t));
+      }
+      report.has_counters = true;
+      report.counters = snapshot;
+      std::ofstream out(report_out);
+      if (!out) {
+        std::cerr << "error: cannot write report to " << report_out << "\n";
+        return kExitError;
+      }
+      out << report.ToJson();
+      if (verbose) std::cerr << "report: -> " << report_out << "\n";
+    }
   }
-  return Usage();
+#else
+  (void)run;
+#endif
+  return exit_code;
 }

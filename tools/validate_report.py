@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Validate ghd_cli observability artifacts (stdlib only, no jsonschema dep).
+
+Usage:
+  validate_report.py --schema tools/report_schema.json report.json [...]
+  validate_report.py --trace trace.json [...]
+
+Report mode checks each file against the checked-in simplified schema
+(tools/report_schema.json) and additionally asserts the memo-soundness
+invariant: if the counters section reports decider activity, the
+decider_memo_poisoned counter must be present and zero.
+
+Trace mode checks Chrome trace_event structure: a traceEvents array whose
+entries carry name/ph/pid/tid, containing at least one complete ("ph": "X")
+span with ts/dur and at least one thread_name metadata event.
+
+Exit code 0 when every file validates, 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+
+def type_ok(value, expected):
+    if expected == "object":
+        return isinstance(value, dict)
+    if expected == "array":
+        return isinstance(value, list)
+    if expected == "string":
+        return isinstance(value, str)
+    if expected == "integer":
+        return isinstance(value, int) and not isinstance(value, bool)
+    if expected == "number":
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    if expected == "boolean":
+        return isinstance(value, bool)
+    return True
+
+
+def check(value, schema, path, errors):
+    """Recursively validate `value` against the simplified-schema node."""
+    expected = schema.get("type")
+    if expected is not None and not type_ok(value, expected):
+        errors.append(f"{path}: expected {expected}, got {type(value).__name__}")
+        return
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not in {schema['enum']}")
+    if "minimum" in schema and isinstance(value, (int, float)) \
+            and not isinstance(value, bool) and value < schema["minimum"]:
+        errors.append(f"{path}: {value} < minimum {schema['minimum']}")
+    if isinstance(value, dict):
+        for req in schema.get("required", []):
+            if req not in value:
+                errors.append(f"{path}: missing required key {req!r}")
+        props = schema.get("properties", {})
+        extra = schema.get("additionalProperties")
+        for key, sub in value.items():
+            if key in props:
+                check(sub, props[key], f"{path}.{key}", errors)
+            elif isinstance(extra, dict):
+                check(sub, extra, f"{path}.{key}", errors)
+            elif extra is False:
+                errors.append(f"{path}: unexpected key {key!r}")
+    if isinstance(value, list) and "items" in schema:
+        for i, item in enumerate(value):
+            check(item, schema["items"], f"{path}[{i}]", errors)
+
+
+def check_report_invariants(report, errors):
+    counters = report.get("counters")
+    if not isinstance(counters, dict):
+        return
+    decider_active = any(
+        key.startswith("decider_") and key != "decider_memo_poisoned"
+        for key in counters
+    )
+    if decider_active:
+        poisoned = counters.get("decider_memo_poisoned")
+        if poisoned is None:
+            errors.append(
+                "counters: decider ran but decider_memo_poisoned missing")
+        elif poisoned != 0:
+            errors.append(
+                f"counters: decider_memo_poisoned = {poisoned}, must be 0")
+
+
+def check_trace(trace, errors):
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        errors.append("trace: missing traceEvents array")
+        return
+    spans = 0
+    thread_names = 0
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            errors.append(f"traceEvents[{i}]: not an object")
+            continue
+        for req in ("name", "ph", "pid", "tid"):
+            if req not in event:
+                errors.append(f"traceEvents[{i}]: missing {req!r}")
+        ph = event.get("ph")
+        if ph == "X":
+            spans += 1
+            for req in ("ts", "dur", "cat"):
+                if req not in event:
+                    errors.append(f"traceEvents[{i}]: span missing {req!r}")
+        elif ph == "M" and event.get("name") == "thread_name":
+            thread_names += 1
+    if spans == 0:
+        errors.append("trace: no complete ('ph': 'X') spans recorded")
+    if thread_names == 0:
+        errors.append("trace: no thread_name metadata (lane labels) present")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--schema", help="simplified schema for report files")
+    parser.add_argument("--trace", action="store_true",
+                        help="validate Chrome trace files instead of reports")
+    parser.add_argument("files", nargs="+")
+    args = parser.parse_args()
+
+    if not args.trace and not args.schema:
+        parser.error("report mode requires --schema")
+
+    schema = None
+    if args.schema:
+        with open(args.schema, encoding="utf-8") as f:
+            schema = json.load(f)
+
+    failures = 0
+    for path in args.files:
+        errors = []
+        try:
+            with open(path, encoding="utf-8") as f:
+                data = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            errors.append(f"cannot parse: {e}")
+            data = None
+        if data is not None:
+            if args.trace:
+                check_trace(data, errors)
+            else:
+                check(data, schema, "$", errors)
+                check_report_invariants(data, errors)
+        if errors:
+            failures += 1
+            print(f"FAIL {path}")
+            for err in errors:
+                print(f"  {err}")
+        else:
+            print(f"OK   {path}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

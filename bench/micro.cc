@@ -20,9 +20,57 @@
 #include "td/lower_bounds.h"
 #include "td/ordering_heuristics.h"
 #include "util/bitset.h"
+#include "util/set_interner.h"
 
 namespace ghd {
 namespace {
+
+// Copy + destroy round-trip. Universes ≤ 128 stay in the inline words (no
+// heap traffic at all); 192+ exercises the dynamic path. The gap between
+// /128 and /192 is the small-set optimization, and the perf-smoke CI job
+// pins the /128 number against bench/perf_smoke_reference.json.
+void BM_BitsetCopy(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  VertexSet a(n);
+  for (int i = 0; i < n; i += 3) a.Set(i);
+  for (auto _ : state) {
+    VertexSet b = a;
+    benchmark::DoNotOptimize(b);
+  }
+}
+BENCHMARK(BM_BitsetCopy)->Arg(64)->Arg(128)->Arg(192)->Arg(512);
+
+void BM_BitsetHash(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  VertexSet a(n);
+  for (int i = 0; i < n; i += 3) a.Set(i);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Hash());
+  }
+}
+BENCHMARK(BM_BitsetHash)->Arg(64)->Arg(128)->Arg(192)->Arg(512);
+
+// Re-interning a working set of 256 distinct sets: after the first lap every
+// Intern() is a hit, which is the decider's steady state (the same
+// components and connectors recur across λ branches).
+void BM_InternerThroughput(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<VertexSet> sets;
+  sets.reserve(256);
+  for (int s = 0; s < 256; ++s) {
+    VertexSet v(n);
+    for (int i = s % 7; i < n; i += 3 + s % 5) v.Set(i);
+    v.Set(s % n);
+    sets.push_back(std::move(v));
+  }
+  SetInterner interner(1);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(interner.Intern(sets[i & 255]));
+    ++i;
+  }
+}
+BENCHMARK(BM_InternerThroughput)->Arg(64)->Arg(512);
 
 void BM_BitsetUnionCount(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

@@ -1,5 +1,6 @@
 #include "suite.h"
 
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -145,13 +146,27 @@ void WriteBenchJson(const std::string& bench_name, bool full,
     out << "}" << (i + 1 < records.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
-  std::ofstream file(path);
-  file << out.str();
-  if (!file) {
-    std::cerr << "warning: could not write " << path << "\n";
-  } else {
-    std::cout << "\nwrote " << path << " (" << records.size() << " records)\n";
+  // Write-then-rename: the real path only ever holds a complete file. A crash
+  // (or full disk) mid-write strands the .tmp sibling instead of truncating
+  // the tracked results — --force stays the only path that replaces them.
+  const std::string tmp_path = path + ".tmp";
+  {
+    std::ofstream file(tmp_path, std::ios::trunc);
+    file << out.str();
+    file.flush();
+    if (!file) {
+      std::cerr << "warning: could not write " << tmp_path << "\n";
+      std::remove(tmp_path.c_str());
+      return;
+    }
   }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::cerr << "warning: could not rename " << tmp_path << " to " << path
+              << "\n";
+    std::remove(tmp_path.c_str());
+    return;
+  }
+  std::cout << "\nwrote " << path << " (" << records.size() << " records)\n";
 }
 
 }  // namespace bench

@@ -48,13 +48,18 @@ struct BenchRecord {
 
 /// Layout version stamped into every BENCH_*.json. Version 2 added the
 /// schema_version field itself and the optional per-record "counters" object.
-inline constexpr int kBenchSchemaVersion = 2;
+/// Version 3 added the per-record "inline_set_hit_rate" field (fraction of
+/// VertexSets the record's run kept in inline storage) emitted by the suite
+/// harness in counter-enabled builds.
+inline constexpr int kBenchSchemaVersion = 3;
 
 /// Writes BENCH_<bench_name>.json in the working directory: run metadata
 /// (schema version, bench name, --full flag, hardware thread count) plus
 /// every record. The perf trajectory of the solvers is tracked from these
 /// files, so an existing file is never clobbered unless `force` is true
-/// (wire it to WantForce so users opt in with --force).
+/// (wire it to WantForce so users opt in with --force). The write goes to a
+/// temporary sibling file that is renamed into place, so a crash mid-run can
+/// never leave a truncated BENCH_*.json behind.
 void WriteBenchJson(const std::string& bench_name, bool full,
                     const std::vector<BenchRecord>& records, bool force);
 

@@ -10,6 +10,7 @@
 // sizes and --threads N to set the top thread count (default: hardware).
 #include <algorithm>
 #include <iostream>
+#include <sstream>
 #include <vector>
 
 #include "htd/det_k_decomp.h"
@@ -81,9 +82,22 @@ int main(int argc, char** argv) {
       record.extra.emplace_back("width", std::to_string(width));
       record.extra.emplace_back("decided", r.exact ? "true" : "false");
 #if GHD_OBS_ENABLED
+      const ghd::obs::CounterSnapshot snap = ghd::obs::SnapshotCounters();
       std::string counters_json;
-      ghd::obs::SnapshotCounters().AppendJson(&counters_json);
+      snap.AppendJson(&counters_json);
       record.extra.emplace_back("counters", counters_json);
+      // Schema v3: fraction of VertexSets this run kept in inline storage
+      // (the small-set optimization's hit rate; see docs/OBSERVABILITY.md).
+      const long inline_sets = snap.counter(obs::Counter::kBitsetInlineSets);
+      const long heap_sets = snap.counter(obs::Counter::kBitsetHeapSets);
+      if (inline_sets + heap_sets > 0) {
+        std::ostringstream rate;
+        rate.precision(4);
+        rate << std::fixed
+             << static_cast<double>(inline_sets) /
+                    static_cast<double>(inline_sets + heap_sets);
+        record.extra.emplace_back("inline_set_hit_rate", rate.str());
+      }
 #endif
       records.push_back(std::move(record));
     }

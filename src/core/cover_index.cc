@@ -1,0 +1,88 @@
+#include "core/cover_index.h"
+
+#include <algorithm>
+
+#include "obs/obs.h"
+#include "util/hash_mix.h"
+
+namespace ghd {
+
+CoverIndex::CoverIndex(const Hypergraph& h, const GuardFamily& family)
+    : family_(&family), num_guards_(family.size()) {
+  guards_containing_.assign(h.num_vertices(), VertexSet(num_guards_));
+  for (int g = 0; g < num_guards_; ++g) {
+    family.guards[g].ForEach([&](int v) { guards_containing_[v].Set(g); });
+  }
+}
+
+VertexSet CoverIndex::GuardsTouching(const VertexSet& vertices) const {
+  VertexSet::Builder touching(num_guards_);
+  vertices.ForEach([&](int v) { touching.AddAll(guards_containing_[v]); });
+  return std::move(touching).Build();
+}
+
+void CoverIndex::CandidatesFor(const VertexSet& v_comp, const VertexSet& conn,
+                               std::vector<int>* out) const {
+  const VertexSet touching = GuardsTouching(v_comp);
+  struct Scored {
+    int conn_cover;  // |guard ∩ conn|; > 0 sorts before == 0
+    int comp_cover;  // |guard ∩ v_comp|
+    int guard;
+  };
+  std::vector<Scored> scored;
+  scored.reserve(touching.Count());
+  touching.ForEach([&](int g) {
+    const VertexSet& guard = family_->guards[g];
+    scored.push_back(
+        Scored{guard.IntersectCount(conn), guard.IntersectCount(v_comp), g});
+  });
+  std::sort(scored.begin(), scored.end(), [](const Scored& a, const Scored& b) {
+    const bool a_conn = a.conn_cover > 0;
+    const bool b_conn = b.conn_cover > 0;
+    if (a_conn != b_conn) return a_conn;
+    if (a_conn && a.conn_cover != b.conn_cover) {
+      return a.conn_cover > b.conn_cover;
+    }
+    if (a.comp_cover != b.comp_cover) return a.comp_cover > b.comp_cover;
+    return a.guard < b.guard;
+  });
+  out->clear();
+  out->reserve(scored.size());
+  for (const Scored& s : scored) out->push_back(s.guard);
+  GHD_HISTO(kLambdaCandidates, static_cast<long>(out->size()));
+}
+
+NegSeparatorCache::NegSeparatorCache(size_t slot_count) {
+  size_t n = 1;
+  while (n < slot_count) n <<= 1;
+  mask_ = n - 1;
+}
+
+NegSeparatorCache::~NegSeparatorCache() {
+  delete[] slots_.load(std::memory_order_relaxed);
+}
+
+size_t NegSeparatorCache::SlotOf(uint64_t key) const {
+  return static_cast<size_t>(SplitMix64(key)) & mask_;
+}
+
+bool NegSeparatorCache::Contains(uint64_t key) const {
+  const std::atomic<uint64_t>* slots = slots_.load(std::memory_order_acquire);
+  if (slots == nullptr) return false;
+  return slots[SlotOf(key)].load(std::memory_order_relaxed) == key;
+}
+
+void NegSeparatorCache::Insert(uint64_t key) {
+  std::atomic<uint64_t>* slots = slots_.load(std::memory_order_acquire);
+  if (slots == nullptr) {
+    std::lock_guard<std::mutex> lock(alloc_mu_);
+    slots = slots_.load(std::memory_order_relaxed);
+    if (slots == nullptr) {
+      slots = new std::atomic<uint64_t>[mask_ + 1]();
+      slots_.store(slots, std::memory_order_release);
+    }
+  }
+  slots[SlotOf(key)].store(key, std::memory_order_relaxed);
+}
+
+}  // namespace ghd

@@ -10,6 +10,8 @@
 #include "setcover/set_cover.h"
 #include "td/treewidth_dp.h"
 #include "util/check.h"
+#include "util/hash_mix.h"
+#include "util/set_interner.h"
 #include "util/striped_map.h"
 #include "util/thread_pool.h"
 
@@ -29,9 +31,15 @@ std::optional<int> GhwBySubsetDp(const Hypergraph& h, int num_threads,
     return std::nullopt;
   }
   std::vector<uint8_t> dp(static_cast<size_t>(full) + 1, 0);
-  StripedMap<VertexSet, int, VertexSetHash> cover_cache;
+  // Bags are interned and the cover memo is keyed by the 32-bit id: probes
+  // hash one integer, and the striped map stores no bitsets at all. The memo
+  // must not outlive the interner that issued its keys — both are scoped to
+  // this call.
+  SetInterner interner(ThreadPool::EffectiveThreads(num_threads) > 1 ? 16 : 1);
+  StripedMap<uint32_t, int, IdHash> cover_cache;
   auto cover_cost = [&](const VertexSet& bag) {
-    if (const int* hit = cover_cache.Find(bag)) {
+    const uint32_t id = interner.Intern(bag);
+    if (const int* hit = cover_cache.Find(id)) {
       GHD_COUNT(kCoverCacheHits);
       return *hit;
     }
@@ -39,14 +47,10 @@ std::optional<int> GhwBySubsetDp(const Hypergraph& h, int num_threads,
     auto size = ExactSetCoverSize(bag, h.edges());
     GHD_CHECK(size.has_value());
     GHD_HISTO(kCoverSize, *size);
-    return *cover_cache.Insert(bag, *size);
+    return *cover_cache.Insert(id, *size);
   };
   auto to_vertexset = [n](uint32_t mask) {
-    VertexSet s(n);
-    for (int v = 0; v < n; ++v) {
-      if ((mask >> v) & 1) s.Set(v);
-    }
-    return s;
+    return VertexSet::FromWord(n, mask);
   };
   auto solve_mask = [&](uint32_t mask) {
     GHD_COUNT(kDpCells);

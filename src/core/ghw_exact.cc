@@ -13,6 +13,8 @@
 #include "setcover/set_cover.h"
 #include "td/lower_bounds.h"
 #include "util/check.h"
+#include "util/hash_mix.h"
+#include "util/set_interner.h"
 #include "util/striped_map.h"
 #include "util/thread_pool.h"
 
@@ -24,6 +26,8 @@ namespace {
 // and the striped exact-cover memo. Branch tasks own their elimination prefix
 // and residual graph; everything here is concurrency-safe.
 struct Shared {
+  explicit Shared(int interner_shards) : interner(interner_shards) {}
+
   const Hypergraph* h;
   VertexSet covered;  // Vertices that occur in some hyperedge.
   ExactGhwOptions options;
@@ -37,8 +41,11 @@ struct Shared {
   std::vector<int> best_ordering;  // guarded by best_mu
 
   // Exact cover sizes are reused heavily across branches (the same bag shows
-  // up under many prefixes), so they are memoized search-wide.
-  StripedMap<VertexSet, int, VertexSetHash> cover_cache;
+  // up under many prefixes), so they are memoized search-wide. Bags are
+  // interned and the memo is keyed by the 32-bit id — integer probes, no
+  // bitsets in the map. Ids must not outlive `interner`; both live here.
+  SetInterner interner;
+  StripedMap<uint32_t, int, IdHash> cover_cache;
 
   int Ub() const { return ub.load(std::memory_order_relaxed); }
 
@@ -57,9 +64,13 @@ struct Shared {
   // This is the same cache rule the k-decider follows for its memo — a
   // truncated run must never poison a cache entry (util/resource_governor.h).
   int ExactCoverSize(const VertexSet& bag) {
-    if (const int* hit = cover_cache.Find(bag)) {
-      GHD_COUNT(kCoverCacheHits);
-      return *hit;
+    bool inserted = false;
+    const uint32_t id = interner.Intern(bag, &inserted);
+    if (!inserted) {
+      if (const int* hit = cover_cache.Find(id)) {
+        GHD_COUNT(kCoverCacheHits);
+        return *hit;
+      }
     }
     GHD_COUNT(kCoverCacheMisses);
     auto size = ExactSetCoverSize(bag, CoverCandidates(bag));
@@ -67,7 +78,7 @@ struct Shared {
     GHD_HISTO(kCoverSize, *size);
     budget->Charge(static_cast<size_t>((bag.universe_size() + 63) / 64) * 8 +
                    sizeof(int));
-    return *cover_cache.Insert(bag, *size);
+    return *cover_cache.Insert(id, *size);
   }
 
   bool Stopped() const { return budget->Stopped(); }
@@ -251,7 +262,7 @@ ExactGhwResult ExactGhwImpl(const Hypergraph& h, const ExactGhwOptions& options,
     return result;
   }
 
-  Shared shared;
+  Shared shared(pool != nullptr ? 16 : 1);
   shared.h = &h;
   shared.covered = h.CoveredVertices();
   shared.options = options;

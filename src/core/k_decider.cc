@@ -7,8 +7,11 @@
 #include <utility>
 #include <vector>
 
+#include "core/cover_index.h"
 #include "obs/obs.h"
 #include "util/check.h"
+#include "util/hash_mix.h"
+#include "util/set_interner.h"
 #include "util/striped_map.h"
 #include "util/thread_pool.h"
 
@@ -17,24 +20,34 @@ namespace {
 
 // A search state: a set of still-uncovered edges forming one connected block,
 // plus the connector vertices shared with the already-built part of the tree.
+// Both sets live in the search's interner; the key holds only their ids, so
+// memo probes hash and compare two integers instead of two bitsets. The ids
+// are borrowed names: the memo and the interner live and die together in the
+// Decider below (ids must never outlive the interner that issued them).
 struct StateKey {
-  VertexSet comp;  // edge ids (universe = num_edges)
-  VertexSet conn;  // vertex ids (universe = num_vertices)
+  uint32_t comp_id;  // interned edge set (universe = num_edges)
+  uint32_t conn_id;  // interned vertex set (universe = num_vertices)
 
   bool operator==(const StateKey& o) const {
-    return comp == o.comp && conn == o.conn;
+    return comp_id == o.comp_id && conn_id == o.conn_id;
   }
 };
 
+// splitmix64 over the packed ids. The non-interned fallback for hashing a
+// (comp, conn) pair of raw bitsets is HashCombine(comp.Hash(), conn.Hash())
+// (util/hash_mix.h) — the old `h1 * 1000003 + h2` combiner left h2's low
+// bits nearly intact, which striped both the memo shards and the bucket
+// arrays underneath them.
 struct StateKeyHash {
   size_t operator()(const StateKey& k) const {
-    return static_cast<size_t>(k.comp.Hash() * 1000003ull + k.conn.Hash());
+    return static_cast<size_t>(SplitMix64(PackIds(k.comp_id, k.conn_id)));
   }
 };
 
 // Memoized decision per state; successful states remember their bag, guard
 // choice, and child states for decomposition reconstruction. Values are
-// immutable once inserted into the shared memo.
+// immutable once inserted into the shared memo. Children are interned ids —
+// 8 bytes per child instead of two bitsets.
 struct StateValue {
   bool exists = false;
   VertexSet chi;
@@ -70,15 +83,23 @@ struct CancelToken {
 constexpr int kMaxForkDepth = 6;
 
 struct Decider {
+  explicit Decider(int interner_shards) : interner(interner_shards) {}
+
   const Hypergraph* h;
   const GuardFamily* family;
+  const CoverIndex* index;
   int k;
   KDeciderOptions options;
   ThreadPool* pool = nullptr;   // null => deterministic sequential engine
   ghd::Budget* budget = nullptr;  // shared governor, never null once running
 
   std::atomic<long> states{0};
+  // The interner owns every component/connector/separator set of the search;
+  // the memo and the negative-separator cache key by its ids. All three are
+  // torn down together, which is what makes the borrowed ids safe.
+  SetInterner interner;
   StripedMap<StateKey, StateValue, StateKeyHash> memo;
+  NegSeparatorCache neg_cache;
 
   bool Tick() {
     states.fetch_add(1, std::memory_order_relaxed);
@@ -91,6 +112,19 @@ struct Decider {
   bool ShouldFork(int depth, size_t branches) const {
     return pool != nullptr && pool->parallel() && depth < kMaxForkDepth &&
            branches >= 2;
+  }
+
+  // Interns `s`, charging the canonical copy against the memory budget on
+  // first sight.
+  uint32_t InternCharged(const VertexSet& s) {
+    bool inserted = false;
+    const uint32_t id = interner.Intern(s, &inserted);
+    if (inserted) budget->Charge(ApproxBytes(s));
+    return id;
+  }
+
+  StateKey MakeKey(const VertexSet& comp, const VertexSet& conn) {
+    return StateKey{InternCharged(comp), InternCharged(conn)};
   }
 
   // Splits `edges_left` into connected blocks, treating vertices in `chi` as
@@ -126,26 +160,42 @@ struct Decider {
   }
 
   VertexSet VerticesOf(const VertexSet& comp) const {
-    VertexSet v(h->num_vertices());
-    comp.ForEach([&](int e) { v |= h->edge(e); });
-    return v;
+    VertexSet::Builder v(h->num_vertices());
+    comp.ForEach([&](int e) { v.AddAll(h->edge(e)); });
+    return std::move(v).Build();
   }
 
   // Evaluates one complete guard choice; fills `value` and returns true on
   // success. Child components are decided in parallel under the fork ceiling
-  // (AND-parallel: the first failing sibling cancels the rest).
-  bool TryLambda(const StateKey& key, const VertexSet& v_comp,
+  // (AND-parallel: the first failing sibling cancels the rest). Failed
+  // (component, chi) pairs land in the negative-separator cache — distinct
+  // guard subsets unioning to the same chi then fail without re-splitting —
+  // but only when the failure is proven (truncated failures are never
+  // cached, the same soundness rule the memo follows).
+  bool TryLambda(const StateKey& key, const VertexSet& comp,
+                 const VertexSet& conn, const VertexSet& v_comp,
                  const std::vector<int>& lambda, const CancelToken* cancel,
                  int depth, StateValue* value) {
     GHD_COUNT(kDeciderLambdaTried);
     VertexSet chi(h->num_vertices());
     for (int g : lambda) chi |= family->guards[g];
     chi &= v_comp;
-    if (!key.conn.IsSubsetOf(chi)) return false;
+    if (!conn.IsSubsetOf(chi)) return false;
+    const uint32_t chi_id = InternCharged(chi);
+    const uint64_t neg_key = NegSeparatorCache::Key(key.comp_id, chi_id);
+    if (neg_cache.Contains(neg_key)) {
+      GHD_COUNT(kSeparatorNegHits);
+      return false;
+    }
+    auto fail_proven = [&] {
+      GHD_COUNT(kSeparatorNegInserts);
+      neg_cache.Insert(neg_key);
+      return false;
+    };
     // Edges of the component fully inside chi are covered here.
-    VertexSet rem = key.comp;
+    VertexSet rem = comp;
     bool covered_any = false;
-    key.comp.ForEach([&](int e) {
+    comp.ForEach([&](int e) {
       if (h->edge(e).IsSubsetOf(chi)) {
         rem.Reset(e);
         covered_any = true;
@@ -154,16 +204,17 @@ struct Decider {
     std::vector<VertexSet> parts = SplitComponents(rem, chi);
     // Progress rule: every child block must be strictly smaller than the
     // current component; otherwise this guard choice loops.
-    if (!covered_any && parts.size() == 1 && parts[0] == key.comp) {
-      return false;
+    if (!covered_any && parts.size() == 1 && parts[0] == comp) {
+      return fail_proven();
     }
     std::vector<StateKey> children;
     children.reserve(parts.size());
     for (VertexSet& part : parts) {
-      VertexSet conn = VerticesOf(part);
-      conn &= chi;
-      children.push_back(StateKey{std::move(part), std::move(conn)});
+      VertexSet child_conn = VerticesOf(part);
+      child_conn &= chi;
+      children.push_back(MakeKey(part, child_conn));
     }
+    bool children_ok = true;
     if (ShouldFork(depth, children.size())) {
       CancelToken sibling_failed(cancel);
       std::atomic<bool> all_ok{true};
@@ -171,9 +222,9 @@ struct Decider {
       // Reverse submission, as in EnumerateLambdaParallel: LIFO own-pop
       // makes the helping waiter take the children in order.
       for (size_t c = children.size(); c-- > 0;) {
-        const StateKey& child = children[c];
+        const StateKey child = children[c];
         GHD_COUNT(kDeciderAndForks);
-        group.Run([this, &child, &sibling_failed, &all_ok, depth] {
+        group.Run([this, child, &sibling_failed, &all_ok, depth] {
           if (sibling_failed.Cancelled() || OutOfBudget()) {
             all_ok.store(false, std::memory_order_relaxed);
             return;
@@ -186,12 +237,22 @@ struct Decider {
         });
       }
       group.Wait();
-      if (!all_ok.load(std::memory_order_relaxed)) return false;
+      children_ok = all_ok.load(std::memory_order_relaxed);
     } else {
       for (const StateKey& child : children) {
-        if (!Decide(child, cancel, depth)) return false;
+        if (!Decide(child, cancel, depth)) {
+          children_ok = false;
+          break;
+        }
         if (OutOfBudget()) return false;
       }
+    }
+    if (!children_ok) {
+      // A child refutation is a proven failure of (comp, chi) only when no
+      // truncation is in flight; otherwise the child may merely have been
+      // cut short.
+      if (!OutOfBudget() && !cancel->Cancelled()) fail_proven();
+      return false;
     }
     value->exists = true;
     value->chi = std::move(chi);
@@ -202,7 +263,8 @@ struct Decider {
 
   // Enumerates guard subsets of size <= k over `candidates`, evaluating each
   // complete connector-covering choice; returns true on first success.
-  bool EnumerateLambda(const StateKey& key, const VertexSet& v_comp,
+  bool EnumerateLambda(const StateKey& key, const VertexSet& comp,
+                       const VertexSet& conn, const VertexSet& v_comp,
                        const std::vector<int>& candidates, size_t from,
                        std::vector<int>* lambda, const VertexSet& conn_left,
                        const CancelToken* cancel, int depth,
@@ -210,7 +272,9 @@ struct Decider {
     if (cancel->Cancelled()) return false;
     if (!Tick()) return false;  // Bound the subset enumeration itself.
     if (!lambda->empty() && conn_left.Empty()) {
-      if (TryLambda(key, v_comp, *lambda, cancel, depth, value)) return true;
+      if (TryLambda(key, comp, conn, v_comp, *lambda, cancel, depth, value)) {
+        return true;
+      }
       if (OutOfBudget()) return false;
     }
     if (static_cast<int>(lambda->size()) == k) return false;
@@ -219,8 +283,8 @@ struct Decider {
       lambda->push_back(g);
       VertexSet next_conn = conn_left;
       next_conn -= family->guards[g];
-      if (EnumerateLambda(key, v_comp, candidates, i + 1, lambda, next_conn,
-                          cancel, depth, value)) {
+      if (EnumerateLambda(key, comp, conn, v_comp, candidates, i + 1, lambda,
+                          next_conn, cancel, depth, value)) {
         return true;
       }
       lambda->pop_back();
@@ -235,20 +299,21 @@ struct Decider {
   // speculated and the state count matches the sequential search. Only on
   // its failure do the remaining partitions fork, racing to the first
   // complete success, which cancels the losing siblings.
-  bool EnumerateLambdaParallel(const StateKey& key, const VertexSet& v_comp,
+  bool EnumerateLambdaParallel(const StateKey& key, const VertexSet& comp,
+                               const VertexSet& conn, const VertexSet& v_comp,
                                const std::vector<int>& candidates,
                                const CancelToken* cancel, int depth,
                                StateValue* out) {
     if (!Tick()) return false;  // The enumeration root, as in sequential.
-    auto try_partition = [this, &key, &v_comp, &candidates, depth](
-                             size_t i, const CancelToken* token,
-                             StateValue* value) {
+    auto try_partition = [this, &key, &comp, &conn, &v_comp, &candidates,
+                          depth](size_t i, const CancelToken* token,
+                                 StateValue* value) {
       const int g = candidates[i];
       std::vector<int> lambda(1, g);
-      VertexSet conn_left = key.conn;
+      VertexSet conn_left = conn;
       conn_left -= family->guards[g];
-      return EnumerateLambda(key, v_comp, candidates, i + 1, &lambda,
-                             conn_left, token, depth + 1, value);
+      return EnumerateLambda(key, comp, conn, v_comp, candidates, i + 1,
+                             &lambda, conn_left, token, depth + 1, value);
     };
     if (try_partition(0, cancel, out)) return true;
     if (candidates.size() <= 1 || OutOfBudget() || cancel->Cancelled()) {
@@ -292,21 +357,22 @@ struct Decider {
     if (cancel->Cancelled()) return false;
     if (!Tick()) return false;
 
-    const VertexSet v_comp = VerticesOf(key.comp);
-    // Only guards touching the component can contribute to chi.
+    const VertexSet& comp = interner.Resolve(key.comp_id);
+    const VertexSet& conn = interner.Resolve(key.conn_id);
+    const VertexSet v_comp = VerticesOf(comp);
+    // Candidate guards from the index: only guards touching the component
+    // can contribute to chi, connector-covering ones first.
     std::vector<int> candidates;
-    for (int g = 0; g < family->size(); ++g) {
-      if (family->guards[g].Intersects(v_comp)) candidates.push_back(g);
-    }
+    index->CandidatesFor(v_comp, conn, &candidates);
     StateValue value;
     bool ok;
     if (ShouldFork(depth, candidates.size())) {
-      ok = EnumerateLambdaParallel(key, v_comp, candidates, cancel, depth,
-                                   &value);
+      ok = EnumerateLambdaParallel(key, comp, conn, v_comp, candidates, cancel,
+                                   depth, &value);
     } else {
       std::vector<int> lambda;
-      ok = EnumerateLambda(key, v_comp, candidates, 0, &lambda, key.conn,
-                           cancel, depth, &value);
+      ok = EnumerateLambda(key, comp, conn, v_comp, candidates, 0, &lambda,
+                           conn, cancel, depth, &value);
     }
     if (ok) {
       // Successes are complete witnesses regardless of cancellation or
@@ -333,25 +399,22 @@ struct Decider {
   }
 
   // Inserts into the memo, accounting its approximate footprint against the
-  // memory budget (bitset words dominate; the map overhead is ignored).
-  // A negative value under truncation is refused outright — that would cache
-  // an unproven refutation; the refusal counter is the observable invariant
-  // (decider_memo_poisoned stays 0 as long as every caller discards
-  // truncated negatives before reaching here).
+  // memory budget (the chi bitset dominates; key and children are interned
+  // ids, and the canonical component/connector copies were charged when they
+  // entered the interner). A negative value under truncation is refused
+  // outright — that would cache an unproven refutation; the refusal counter
+  // is the observable invariant (decider_memo_poisoned stays 0 as long as
+  // every caller discards truncated negatives before reaching here).
   void Memoize(const StateKey& key, StateValue value, bool truncated) {
     if (!value.exists && truncated) {
       GHD_COUNT(kDeciderMemoPoisoned);
       return;
     }
     GHD_COUNT(kDeciderMemoInserts);
-    size_t bytes = sizeof(StateKey) + sizeof(StateValue) +
-                   ApproxBytes(key.comp) + ApproxBytes(key.conn) +
-                   ApproxBytes(value.chi) +
-                   value.lambda.size() * sizeof(int);
-    for (const StateKey& child : value.children) {
-      bytes += sizeof(StateKey) + ApproxBytes(child.comp) +
-               ApproxBytes(child.conn);
-    }
+    const size_t bytes = sizeof(StateKey) + sizeof(StateValue) +
+                         ApproxBytes(value.chi) +
+                         value.lambda.size() * sizeof(int) +
+                         value.children.size() * sizeof(StateKey);
     budget->Charge(bytes);
     memo.Insert(key, std::move(value));
   }
@@ -428,9 +491,14 @@ KDeciderResult DecideWidthK(const Hypergraph& h, const GuardFamily& family,
     budget = &local_budget;
   }
 
-  Decider decider;
+  const CoverIndex index(h, family);
+
+  // One interner shard when sequential: shard setup is per-search overhead,
+  // and without workers there is no contention to spread.
+  Decider decider(threads > 1 ? 16 : 1);
   decider.h = &h;
   decider.family = &family;
+  decider.index = &index;
   decider.k = k;
   decider.options = options;
   decider.pool = pool.get();
@@ -445,15 +513,15 @@ KDeciderResult DecideWidthK(const Hypergraph& h, const GuardFamily& family,
   std::vector<StateKey> root_keys;
   bool all_ok = true;
   for (VertexSet& comp : roots) {
-    StateKey key{std::move(comp), VertexSet(h.num_vertices())};
+    const StateKey key = decider.MakeKey(comp, VertexSet(h.num_vertices()));
     GHD_SPAN_VAR(span, "decider", "decide-component");
     span.SetArg("k", k);
-    span.SetArg("edges", key.comp.Count());
+    span.SetArg("edges", comp.Count());
     if (!decider.Decide(key, &root_scope, 0)) {
       all_ok = false;
       break;
     }
-    root_keys.push_back(std::move(key));
+    root_keys.push_back(key);
   }
   result.states_visited = decider.states.load(std::memory_order_relaxed);
   result.outcome = budget->MakeOutcome();

@@ -33,15 +33,15 @@ int Hypergraph::VertexIdOf(const std::string& name) const {
 }
 
 VertexSet Hypergraph::UnionOfEdges(const std::vector<int>& edge_ids) const {
-  VertexSet u(num_vertices());
-  for (int e : edge_ids) u |= edges_[e];
-  return u;
+  VertexSet::Builder u(num_vertices());
+  for (int e : edge_ids) u.AddAll(edges_[e]);
+  return std::move(u).Build();
 }
 
 VertexSet Hypergraph::EdgesIntersecting(const VertexSet& vs) const {
-  VertexSet ids(num_edges());
-  vs.ForEach([&](int v) { ids |= incident_edges_[v]; });
-  return ids;
+  VertexSet::Builder ids(num_edges());
+  vs.ForEach([&](int v) { ids.AddAll(incident_edges_[v]); });
+  return std::move(ids).Build();
 }
 
 VertexSet Hypergraph::CoveredVertices() const {

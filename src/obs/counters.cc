@@ -43,6 +43,12 @@ const char* const kCounterNames[kNumCounters] = {
     "pool_steals",
     "ladder_rungs",
     "ladder_improvements",
+    "bitset_inline_sets",
+    "bitset_heap_sets",
+    "interner_hits",
+    "interner_misses",
+    "separator_neg_hits",
+    "separator_neg_inserts",
 };
 
 const char* const kGaugeNames[kNumGauges] = {
@@ -54,6 +60,8 @@ const char* const kGaugeNames[kNumGauges] = {
 const char* const kHistoNames[kNumHistos] = {
     "cover_size",
     "join_size",
+    "interned_set_words",
+    "lambda_candidates",
 };
 
 // Registry of live shards plus the fold-in accumulator for exited threads.

@@ -67,6 +67,15 @@ enum class Counter : int {
   // Anytime ladder (core/anytime).
   kLadderRungs,         // rungs recorded on the provenance trail
   kLadderImprovements,  // witness upper-bound improvements installed
+  // Small-set-optimized bitset (util/bitset).
+  kBitsetInlineSets,    // VertexSets constructed with inline (heap-free) storage
+  kBitsetHeapSets,      // VertexSets constructed on the heap (universe > 128)
+  // Hash-consing set interner (util/set_interner).
+  kInternerHits,        // Intern() calls resolved to an existing id
+  kInternerMisses,      // Intern() calls that inserted a new canonical set
+  // Cover-candidate index + negative-separator cache (core/cover_index).
+  kSeparatorNegHits,    // guard choices skipped: (component, chi) known to fail
+  kSeparatorNegInserts, // proven-failed (component, chi) pairs recorded
   kCounterCount,        // sentinel
 };
 
@@ -81,9 +90,11 @@ enum class Gauge : int {
 /// Log2-bucketed histograms: value v lands in bucket floor(log2(v)) + 1,
 /// v <= 0 in bucket 0. 32 buckets cover the full long range.
 enum class Histo : int {
-  kCoverSize = 0,  // exact set-cover sizes computed for bags
-  kJoinSize,       // tuples per materialized bucket-elimination join
-  kHistoCount,     // sentinel
+  kCoverSize = 0,       // exact set-cover sizes computed for bags
+  kJoinSize,            // tuples per materialized bucket-elimination join
+  kInternedSetWords,    // 64-bit words per newly interned canonical set
+  kLambdaCandidates,    // cover-candidate list lengths built per state
+  kHistoCount,          // sentinel
 };
 
 inline constexpr int kNumCounters = static_cast<int>(Counter::kCounterCount);

@@ -12,28 +12,43 @@ VertexSet VertexSet::Of(int universe_size, const std::vector<int>& elements) {
 
 VertexSet VertexSet::Full(int universe_size) {
   VertexSet s(universe_size);
-  for (int i = 0; i < universe_size; ++i) s.Set(i);
+  uint64_t* w = s.words();
+  for (int i = 0; i < s.num_words_; ++i) w[i] = ~uint64_t{0};
+  if (universe_size & 63) {
+    w[s.num_words_ - 1] = (uint64_t{1} << (universe_size & 63)) - 1;
+  }
+  return s;
+}
+
+VertexSet VertexSet::FromWord(int universe_size, uint64_t word0) {
+  VertexSet s(universe_size);
+  if (universe_size < 64) {
+    GHD_CHECK((word0 >> universe_size) == 0);
+  }
+  if (s.num_words_ > 0) s.words()[0] = word0;
+  GHD_CHECK(s.num_words_ > 0 || word0 == 0);
   return s;
 }
 
 int VertexSet::Count() const {
+  const uint64_t* w = words();
   int c = 0;
-  for (uint64_t w : words_) c += std::popcount(w);
+  for (int i = 0; i < num_words_; ++i) c += std::popcount(w[i]);
   return c;
 }
 
 bool VertexSet::Empty() const {
-  for (uint64_t w : words_) {
-    if (w != 0) return false;
+  const uint64_t* w = words();
+  for (int i = 0; i < num_words_; ++i) {
+    if (w[i] != 0) return false;
   }
   return true;
 }
 
 int VertexSet::First() const {
-  for (size_t w = 0; w < words_.size(); ++w) {
-    if (words_[w] != 0) {
-      return static_cast<int>(w * 64) + __builtin_ctzll(words_[w]);
-    }
+  const uint64_t* w = words();
+  for (int i = 0; i < num_words_; ++i) {
+    if (w[i] != 0) return i * 64 + __builtin_ctzll(w[i]);
   }
   return -1;
 }
@@ -41,13 +56,12 @@ int VertexSet::First() const {
 int VertexSet::Next(int i) const {
   ++i;
   if (i >= size_) return -1;
-  size_t w = static_cast<size_t>(i) >> 6;
-  uint64_t bits = words_[w] >> (i & 63);
+  const uint64_t* words_ptr = words();
+  int w = i >> 6;
+  uint64_t bits = words_ptr[w] >> (i & 63);
   if (bits != 0) return i + __builtin_ctzll(bits);
-  for (++w; w < words_.size(); ++w) {
-    if (words_[w] != 0) {
-      return static_cast<int>(w * 64) + __builtin_ctzll(words_[w]);
-    }
+  for (++w; w < num_words_; ++w) {
+    if (words_ptr[w] != 0) return w * 64 + __builtin_ctzll(words_ptr[w]);
   }
   return -1;
 }
@@ -61,72 +75,79 @@ std::vector<int> VertexSet::ToVector() const {
 
 VertexSet& VertexSet::operator|=(const VertexSet& o) {
   GHD_DCHECK(size_ == o.size_);
-  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= o.words_[i];
-  InvalidateHash();
+  uint64_t* a = words();
+  const uint64_t* b = o.words();
+  for (int i = 0; i < num_words_; ++i) a[i] |= b[i];
   return *this;
 }
 
 VertexSet& VertexSet::operator&=(const VertexSet& o) {
   GHD_DCHECK(size_ == o.size_);
-  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= o.words_[i];
-  InvalidateHash();
+  uint64_t* a = words();
+  const uint64_t* b = o.words();
+  for (int i = 0; i < num_words_; ++i) a[i] &= b[i];
   return *this;
 }
 
 VertexSet& VertexSet::operator-=(const VertexSet& o) {
   GHD_DCHECK(size_ == o.size_);
-  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~o.words_[i];
-  InvalidateHash();
+  uint64_t* a = words();
+  const uint64_t* b = o.words();
+  for (int i = 0; i < num_words_; ++i) a[i] &= ~b[i];
   return *this;
 }
 
 bool VertexSet::operator<(const VertexSet& o) const {
   if (size_ != o.size_) return size_ < o.size_;
-  for (size_t i = words_.size(); i-- > 0;) {
-    if (words_[i] != o.words_[i]) return words_[i] < o.words_[i];
+  const uint64_t* a = words();
+  const uint64_t* b = o.words();
+  for (int i = num_words_; i-- > 0;) {
+    if (a[i] != b[i]) return a[i] < b[i];
   }
   return false;
 }
 
 bool VertexSet::Intersects(const VertexSet& o) const {
   GHD_DCHECK(size_ == o.size_);
-  for (size_t i = 0; i < words_.size(); ++i) {
-    if ((words_[i] & o.words_[i]) != 0) return true;
+  const uint64_t* a = words();
+  const uint64_t* b = o.words();
+  for (int i = 0; i < num_words_; ++i) {
+    if ((a[i] & b[i]) != 0) return true;
   }
   return false;
 }
 
 bool VertexSet::IsSubsetOf(const VertexSet& o) const {
   GHD_DCHECK(size_ == o.size_);
-  for (size_t i = 0; i < words_.size(); ++i) {
-    if ((words_[i] & ~o.words_[i]) != 0) return false;
+  const uint64_t* a = words();
+  const uint64_t* b = o.words();
+  for (int i = 0; i < num_words_; ++i) {
+    if ((a[i] & ~b[i]) != 0) return false;
   }
   return true;
 }
 
 int VertexSet::IntersectCount(const VertexSet& o) const {
   GHD_DCHECK(size_ == o.size_);
+  const uint64_t* a = words();
+  const uint64_t* b = o.words();
   int c = 0;
-  for (size_t i = 0; i < words_.size(); ++i) {
-    c += std::popcount(words_[i] & o.words_[i]);
-  }
+  for (int i = 0; i < num_words_; ++i) c += std::popcount(a[i] & b[i]);
   return c;
 }
 
 uint64_t VertexSet::Hash() const {
-  const uint64_t cached = hash_cache_.load(std::memory_order_relaxed);
-  if (cached != 0) return cached;
-  // FNV-1a over the words plus the universe size.
+  // FNV-1a over the words plus the universe size, splitmix64-finalized so
+  // the low bits avalanche (they feed both map buckets and shard selection).
   uint64_t h = 14695981039346656037ull;
   auto mix = [&h](uint64_t v) {
     h ^= v;
     h *= 1099511628211ull;
   };
   mix(static_cast<uint64_t>(size_));
-  for (uint64_t w : words_) mix(w);
-  if (h == 0) h = 0x9e3779b97f4a7c15ull;  // 0 is the "not computed" sentinel.
-  hash_cache_.store(h, std::memory_order_relaxed);
-  return h;
+  const uint64_t* w = words();
+  for (int i = 0; i < num_words_; ++i) mix(w[i]);
+  return SplitMix64(h);
 }
 
 std::string VertexSet::ToString() const {

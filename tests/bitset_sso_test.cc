@@ -1,0 +1,209 @@
+// Differential tests for the small-set optimization in VertexSet: the inline
+// (≤128-bit) and heap representations must be observationally identical, so
+// every operation is checked against a plain std::set<int> model at universe
+// sizes straddling the word and inline-capacity boundaries (63/64/65 and
+// 127/128/129), plus a firmly-heap size. Copies and moves are exercised
+// between the checks because the representations share a union — an aliasing
+// bug shows up as one set's mutation leaking into another.
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "util/bitset.h"
+#include "util/rng.h"
+
+namespace ghd {
+namespace {
+
+constexpr int kBoundarySizes[] = {63, 64, 65, 127, 128, 129, 192, 321};
+
+std::set<int> ModelOf(const VertexSet& s) {
+  std::set<int> out;
+  s.ForEach([&](int v) { out.insert(v); });
+  return out;
+}
+
+VertexSet FromModel(int n, const std::set<int>& model) {
+  VertexSet s(n);
+  for (int v : model) s.Set(v);
+  return s;
+}
+
+void ExpectMatchesModel(const VertexSet& s, const std::set<int>& model,
+                        int n) {
+  ASSERT_EQ(s.universe_size(), n);
+  EXPECT_EQ(s.Count(), static_cast<int>(model.size()));
+  EXPECT_EQ(s.Empty(), model.empty());
+  EXPECT_EQ(s.First(), model.empty() ? -1 : *model.begin());
+  for (int v = 0; v < n; ++v) {
+    EXPECT_EQ(s.Test(v), model.count(v) > 0) << "universe " << n << " bit "
+                                             << v;
+  }
+  EXPECT_EQ(ModelOf(s), model);
+}
+
+TEST(BitsetSsoTest, RandomizedDifferentialAcrossBoundaries) {
+  for (int n : kBoundarySizes) {
+    Rng rng(0x5e7b175ULL + n);
+    std::set<int> model_a, model_b;
+    VertexSet a(n), b(n);
+    for (int step = 0; step < 400; ++step) {
+      const int op = rng.UniformInt(8);
+      const int v = rng.UniformInt(n);
+      switch (op) {
+        case 0:
+          a.Set(v);
+          model_a.insert(v);
+          break;
+        case 1:
+          a.Reset(v);
+          model_a.erase(v);
+          break;
+        case 2:
+          b.Set(v);
+          model_b.insert(v);
+          break;
+        case 3: {
+          a |= b;
+          model_a.insert(model_b.begin(), model_b.end());
+          break;
+        }
+        case 4: {
+          std::set<int> inter;
+          std::set_intersection(model_a.begin(), model_a.end(),
+                                model_b.begin(), model_b.end(),
+                                std::inserter(inter, inter.begin()));
+          a &= b;
+          model_a = inter;
+          break;
+        }
+        case 5: {
+          std::set<int> diff;
+          std::set_difference(model_a.begin(), model_a.end(), model_b.begin(),
+                              model_b.end(),
+                              std::inserter(diff, diff.begin()));
+          a -= b;
+          model_a = diff;
+          break;
+        }
+        case 6: {
+          // Copy round-trip: a survives being copied from and into.
+          VertexSet copy = a;
+          a = b;
+          a = copy;
+          break;
+        }
+        case 7: {
+          b.Clear();
+          model_b.clear();
+          break;
+        }
+      }
+      // Cross-checked predicates against the models.
+      std::set<int> inter;
+      std::set_intersection(model_a.begin(), model_a.end(), model_b.begin(),
+                            model_b.end(),
+                            std::inserter(inter, inter.begin()));
+      EXPECT_EQ(a.Intersects(b), !inter.empty());
+      EXPECT_EQ(a.IntersectCount(b), static_cast<int>(inter.size()));
+      EXPECT_EQ(a.IsSubsetOf(b),
+                std::includes(model_b.begin(), model_b.end(), model_a.begin(),
+                              model_a.end()));
+    }
+    ExpectMatchesModel(a, model_a, n);
+    ExpectMatchesModel(b, model_b, n);
+  }
+}
+
+TEST(BitsetSsoTest, HashAgreesWithEqualityAcrossRepresentations) {
+  for (int n : kBoundarySizes) {
+    Rng rng(0xabcdef + n);
+    for (int trial = 0; trial < 50; ++trial) {
+      std::set<int> model;
+      for (int i = 0; i < n / 3; ++i) model.insert(rng.UniformInt(n));
+      const VertexSet s = FromModel(n, model);
+      const VertexSet t = FromModel(n, model);  // independently built
+      EXPECT_EQ(s, t);
+      EXPECT_EQ(s.Hash(), t.Hash());
+      VertexSet u = s;
+      EXPECT_EQ(u.Hash(), s.Hash());
+      if (!model.empty()) {
+        u.Reset(*model.begin());
+        EXPECT_NE(u, s);
+        // Not guaranteed in principle, but splitmix64-finalized FNV over the
+        // words should never collide on a one-bit flip in practice.
+        EXPECT_NE(u.Hash(), s.Hash());
+      }
+    }
+  }
+}
+
+TEST(BitsetSsoTest, CopiesAreIndependent) {
+  for (int n : kBoundarySizes) {
+    VertexSet a(n);
+    a.Set(0);
+    a.Set(n - 1);
+    VertexSet b = a;
+    b.Set(n / 2);
+    EXPECT_FALSE(a.Test(n / 2));
+    a.Reset(0);
+    EXPECT_TRUE(b.Test(0));
+
+    // Cross-representation assignment (inline <- heap and heap <- inline).
+    VertexSet small(64);
+    small.Set(7);
+    VertexSet big(300);
+    big.Set(299);
+    VertexSet x = small;
+    x = big;
+    EXPECT_EQ(x.universe_size(), 300);
+    EXPECT_TRUE(x.Test(299));
+    x = small;
+    EXPECT_EQ(x.universe_size(), 64);
+    EXPECT_TRUE(x.Test(7));
+    EXPECT_FALSE(x.Test(63));
+  }
+}
+
+TEST(BitsetSsoTest, MovedFromLeavesSourceReusable) {
+  for (int n : kBoundarySizes) {
+    VertexSet a(n);
+    a.Set(1);
+    VertexSet b = std::move(a);
+    EXPECT_TRUE(b.Test(1));
+    a = VertexSet(n);  // moved-from must accept reassignment
+    a.Set(2);
+    EXPECT_TRUE(a.Test(2));
+    EXPECT_FALSE(b.Test(2));
+  }
+}
+
+TEST(BitsetSsoTest, FullAndFromWordRespectBoundaries) {
+  for (int n : kBoundarySizes) {
+    const VertexSet full = VertexSet::Full(n);
+    EXPECT_EQ(full.Count(), n);
+    for (int v = 0; v < n; ++v) EXPECT_TRUE(full.Test(v));
+  }
+  const VertexSet w = VertexSet::FromWord(40, 0b1011);
+  EXPECT_EQ(ModelOf(w), (std::set<int>{0, 1, 3}));
+}
+
+TEST(BitsetSsoTest, BuilderMatchesIncrementalSets) {
+  for (int n : kBoundarySizes) {
+    VertexSet inc(n);
+    VertexSet::Builder builder(n);
+    VertexSet other(n);
+    other.Set(n - 1);
+    for (int v = 0; v < n; v += 7) {
+      inc.Set(v);
+      builder.Add(v);
+    }
+    inc |= other;
+    builder.AddAll(other);
+    EXPECT_EQ(std::move(builder).Build(), inc);
+  }
+}
+
+}  // namespace
+}  // namespace ghd

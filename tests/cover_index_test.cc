@@ -1,0 +1,104 @@
+// CoverIndex: the precomputed guard-candidate lists must return exactly the
+// guards touching a component, connected-first; NegSeparatorCache must be a
+// sound (forgetting-only) negative cache.
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "core/cover_index.h"
+#include "core/k_decider.h"
+#include "gen/circuits.h"
+#include "hypergraph/hypergraph_builder.h"
+
+namespace ghd {
+namespace {
+
+Hypergraph PathExample() {
+  HypergraphBuilder b;
+  b.AddEdge("e0", {"a", "b"});
+  b.AddEdge("e1", {"b", "c"});
+  b.AddEdge("e2", {"c", "d"});
+  b.AddEdge("e3", {"d", "e"});
+  return std::move(b).Build();
+}
+
+TEST(CoverIndexTest, GuardsTouchingMatchesBruteForce) {
+  const Hypergraph h = AdderHypergraph(4);
+  const GuardFamily family = OriginalEdgesFamily(h);
+  const CoverIndex index(h, family);
+  for (int v = 0; v < h.num_vertices(); ++v) {
+    VertexSet vs(h.num_vertices());
+    vs.Set(v);
+    vs.Set((v + 3) % h.num_vertices());
+    const VertexSet got = index.GuardsTouching(vs);
+    for (int g = 0; g < family.size(); ++g) {
+      EXPECT_EQ(got.Test(g), family.guards[g].Intersects(vs))
+          << "vertex pair at " << v << ", guard " << g;
+    }
+  }
+}
+
+TEST(CoverIndexTest, CandidatesAreExactlyTouchingGuards) {
+  const Hypergraph h = PathExample();
+  const GuardFamily family = OriginalEdgesFamily(h);
+  const CoverIndex index(h, family);
+  // Component {c, d}: touched by e1, e2, e3 but not e0 ({a, b}).
+  VertexSet comp(h.num_vertices());
+  h.edge(2).ForEach([&](int v) { comp.Set(v); });
+  std::vector<int> candidates;
+  index.CandidatesFor(comp, VertexSet(h.num_vertices()), &candidates);
+  EXPECT_EQ(candidates.size(), 3u);
+  for (int g : candidates) {
+    EXPECT_TRUE(family.guards[g].Intersects(comp));
+  }
+}
+
+TEST(CoverIndexTest, ConnectorCoveringGuardsComeFirst) {
+  const Hypergraph h = PathExample();
+  const GuardFamily family = OriginalEdgesFamily(h);
+  const CoverIndex index(h, family);
+  // Component = all vertices; connector = e2's endpoints {c, d}. Guards that
+  // meet the connector (e1, e2, e3) must precede the one that does not (e0),
+  // and e2 — covering both connector vertices — must come first of all.
+  const VertexSet comp = VertexSet::Full(h.num_vertices());
+  VertexSet conn(h.num_vertices());
+  h.edge(2).ForEach([&](int v) { conn.Set(v); });
+  std::vector<int> candidates;
+  index.CandidatesFor(comp, conn, &candidates);
+  ASSERT_EQ(candidates.size(), 4u);
+  EXPECT_EQ(candidates[0], 2);
+  EXPECT_EQ(candidates[3], 0);
+  // Deterministic: the same query gives the same order.
+  std::vector<int> again;
+  index.CandidatesFor(comp, conn, &again);
+  EXPECT_EQ(candidates, again);
+}
+
+TEST(NegSeparatorCacheTest, InsertThenContains) {
+  NegSeparatorCache cache(1 << 6);
+  const uint64_t key = NegSeparatorCache::Key(3, 7);
+  EXPECT_FALSE(cache.Contains(key));
+  cache.Insert(key);
+  EXPECT_TRUE(cache.Contains(key));
+  // A different pair never aliases to a hit: keys are exact-compared.
+  EXPECT_FALSE(cache.Contains(NegSeparatorCache::Key(7, 3)));
+}
+
+TEST(NegSeparatorCacheTest, CollisionEvictsInsteadOfLying) {
+  // One slot: every insert evicts the previous entry. The cache may forget
+  // but must never report a key it does not hold.
+  NegSeparatorCache cache(1);
+  const uint64_t k1 = NegSeparatorCache::Key(1, 1);
+  const uint64_t k2 = NegSeparatorCache::Key(2, 2);
+  cache.Insert(k1);
+  cache.Insert(k2);
+  EXPECT_TRUE(cache.Contains(k2));
+  EXPECT_FALSE(cache.Contains(k1));
+}
+
+TEST(NegSeparatorCacheTest, KeysAreNonZeroAndDistinct) {
+  EXPECT_NE(NegSeparatorCache::Key(0, 0), 0u);
+  EXPECT_NE(NegSeparatorCache::Key(0, 1), NegSeparatorCache::Key(1, 0));
+}
+
+}  // namespace
+}  // namespace ghd

@@ -24,47 +24,60 @@ int main(int argc, char** argv) {
             << "    general exact search (paper: BIP classes are tractable)\n\n";
   const int k = 2;
   const int num_threads = bench::ThreadsArg(argc, argv, 1);
-  Table table({"n", "m", "closure_size", "bip_ms", "bip_states", "exact_ms",
-               "verdicts_agree"});
+  Table table({"n", "m", "closure_size", "dominated", "closure_ms",
+               "decide_ms", "bip_states", "exact_ms", "verdicts_agree"});
   std::vector<bench::BenchRecord> records;
   const int max_n = full ? 44 : 28;
   for (int n = 12; n <= max_n; n += 4) {
     const int m = (n * 2) / 3;
-    double bip_total = 0, exact_total = 0;
-    long states = 0;
+    double closure_total = 0, decide_total = 0, exact_total = 0;
+    long states = 0, dominated = 0;
     int closure_size = 0;
     bool agree = true;
     for (uint64_t seed = 1; seed <= 3; ++seed) {
       Hypergraph h =
           RandomBoundedIntersectionHypergraph(n, m, 3, 1, seed * 17 + n);
+      // The closure is built once per instance (timed on its own) and handed
+      // straight to the decider — the same pipeline BipGhwDecide runs, split
+      // so the two phases are visible in the record.
       SubedgeClosureOptions closure;
       closure.max_union_arity = k;
-      closure_size =
-          std::max(closure_size, BipSubedgeClosure(h, closure).size());
+      WallTimer t0;
+      SubedgeClosureResult generated = BipSubedgeClosure(h, closure);
+      closure_total += t0.ElapsedMillis();
+      closure_size = std::max(closure_size, generated.family.size());
+      dominated += generated.dominated_pruned;
       WallTimer t1;
       KDeciderOptions decider;
       decider.num_threads = num_threads;
-      KDeciderResult bip = BipGhwDecide(h, k, closure, decider);
-      bip_total += t1.ElapsedMillis();
+      KDeciderResult bip = DecideWidthK(h, generated.family, k, decider);
+      decide_total += t1.ElapsedMillis();
       states += bip.states_visited;
       WallTimer t2;
       ExactGhwOptions options;
       options.time_limit_seconds = full ? 20.0 : 5.0;
       std::optional<bool> exact = GhwAtMost(h, k, options);
       exact_total += t2.ElapsedMillis();
-      if (bip.decided && exact.has_value() && bip.exists != *exact) {
+      if (bip.decided && generated.complete() && exact.has_value() &&
+          bip.exists != *exact) {
         agree = false;
       }
     }
     table.AddRow({Table::Cell(n), Table::Cell(m), Table::Cell(closure_size),
-                  Table::Cell(bip_total / 3, 2), Table::Cell(static_cast<int>(states / 3)),
+                  Table::Cell(static_cast<int>(dominated / 3)),
+                  Table::Cell(closure_total / 3, 2),
+                  Table::Cell(decide_total / 3, 2),
+                  Table::Cell(static_cast<int>(states / 3)),
                   Table::Cell(exact_total / 3, 2), agree ? "yes" : "NO"});
     bench::BenchRecord record;
     record.instance = "rand_bip1_n" + std::to_string(n);
-    record.wall_ms = bip_total / 3;
+    record.wall_ms = (closure_total + decide_total) / 3;
     record.states = states / 3;
     record.threads = num_threads;
     record.extra.emplace_back("closure_size", std::to_string(closure_size));
+    record.extra.emplace_back("closure_ms",
+                              std::to_string(closure_total / 3));
+    record.extra.emplace_back("dominated", std::to_string(dominated / 3));
     record.extra.emplace_back("exact_ms", std::to_string(exact_total / 3));
     record.extra.emplace_back("agree", agree ? "true" : "false");
     records.push_back(std::move(record));

@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
     const int iw3 = MultiIntersectionWidth(h, 3);
     SubedgeClosureOptions closure;
     closure.max_union_arity = k;
-    const int closure_size = BipSubedgeClosure(h, closure).size();
+    const int closure_size = BipSubedgeClosure(h, closure).family.size();
     WallTimer t;
     KDeciderResult r = BipGhwDecide(h, k, closure);
     table.AddRow({Table::Cell(d), Table::Cell(h.num_vertices()),

@@ -190,10 +190,34 @@ BENCHMARK(BM_YannakakisColoring);
 void BM_SubedgeClosure(benchmark::State& state) {
   Hypergraph h = RandomBoundedIntersectionHypergraph(30, 18, 3, 1, 5);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(BipSubedgeClosure(h).size());
+    benchmark::DoNotOptimize(BipSubedgeClosure(h).family.size());
   }
 }
 BENCHMARK(BM_SubedgeClosure);
+
+// The demand-driven closure enumerator itself (the E3 front half): per-parent
+// atom frontier + interner dedup + dominance pruning, at the union arity the
+// tractability argument actually uses (j = k = 3). Arg is the vertex count of
+// the random BIP(2) instance. The perf-smoke CI job pins /24 against
+// bench/perf_smoke_reference.json.
+void BM_ClosureEnumerate(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Hypergraph h = RandomBoundedIntersectionHypergraph(n, n, 4, 2, 13);
+  SubedgeClosureOptions options;
+  options.max_union_arity = 3;
+  long probed = 0;
+  long guards = 0;
+  for (auto _ : state) {
+    SubedgeClosureResult r = BipSubedgeClosure(h, options);
+    probed += r.candidates_probed;
+    guards = r.family.size();
+    benchmark::DoNotOptimize(guards);
+  }
+  state.counters["candidates"] = static_cast<double>(probed) /
+                                 static_cast<double>(state.iterations());
+  state.counters["guards"] = static_cast<double>(guards);
+}
+BENCHMARK(BM_ClosureEnumerate)->Arg(24)->Arg(40);
 
 }  // namespace
 }  // namespace ghd

@@ -50,8 +50,11 @@ struct BenchRecord {
 /// schema_version field itself and the optional per-record "counters" object.
 /// Version 3 added the per-record "inline_set_hit_rate" field (fraction of
 /// VertexSets the record's run kept in inline storage) emitted by the suite
-/// harness in counter-enabled builds.
-inline constexpr int kBenchSchemaVersion = 3;
+/// harness in counter-enabled builds. Version 4 split the bip_tractable
+/// rows' wall time into closure and decide phases ("closure_ms" extra; the
+/// top-level wall_ms stays closure + decide) and added the "dominated" extra
+/// (guards dropped by closure dominance pruning).
+inline constexpr int kBenchSchemaVersion = 4;
 
 /// Writes BENCH_<bench_name>.json in the working directory: run metadata
 /// (schema version, bench name, --full flag, hardware thread count) plus

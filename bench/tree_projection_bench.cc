@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
   for (const auto& [name, h] : bench::ExactSuite(full)) {
     ExactGhwResult exact = ExactGhw(h);
     if (!exact.exact) continue;
-    const GuardFamily closure = FullSubedgeClosure(h);
+    const GuardFamily closure = FullSubedgeClosure(h).family;
     for (int k = std::max(1, exact.upper_bound - 1);
          k <= exact.upper_bound + 1; ++k) {
       const bool truth = exact.upper_bound <= k;

@@ -34,7 +34,7 @@ int main() {
     for (auto& [label, h] : cases) {
       SubedgeClosureOptions closure_options;
       closure_options.max_union_arity = k;
-      const GuardFamily closure = BipSubedgeClosure(h, closure_options);
+      const GuardFamily closure = BipSubedgeClosure(h, closure_options).family;
       WallTimer t;
       KDeciderResult r = BipGhwDecide(h, k, closure_options);
       std::string verdict = !r.decided ? "?" : (r.exists ? "<= k" : "> k*");

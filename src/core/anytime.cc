@@ -26,6 +26,10 @@ void Record(AnytimeGhwResult* result, const char* engine, const Budget& root) {
   step.lower_bound = result->lower_bound;
   step.upper_bound = result->upper_bound;
   step.at_seconds = root.ElapsedSeconds();
+  step.rung_seconds =
+      result->trail.empty()
+          ? step.at_seconds
+          : step.at_seconds - result->trail.back().at_seconds;
   result->trail.push_back(std::move(step));
 }
 

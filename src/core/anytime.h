@@ -61,6 +61,9 @@ struct AnytimeStep {
   int upper_bound = 0;
   /// Wall-clock seconds since the driver started, from the root governor.
   double at_seconds = 0;
+  /// Wall-clock seconds this rung itself took: the delta to the previous
+  /// trail entry's at_seconds (equal to at_seconds for the first rung).
+  double rung_seconds = 0;
 };
 
 /// The driver's final answer. Invariants, enforced by validation:

@@ -16,14 +16,15 @@
 #include "util/thread_pool.h"
 
 namespace ghd {
-namespace {
+namespace internal {
 
 // A search state: a set of still-uncovered edges forming one connected block,
 // plus the connector vertices shared with the already-built part of the tree.
 // Both sets live in the search's interner; the key holds only their ids, so
 // memo probes hash and compare two integers instead of two bitsets. The ids
-// are borrowed names: the memo and the interner live and die together in the
-// Decider below (ids must never outlive the interner that issued them).
+// are borrowed names: the memos and the interner live and die together — in
+// the per-call Decider below, or in the LadderState when a KLadderContext
+// spans several calls (ids must never outlive the interner that issued them).
 struct StateKey {
   uint32_t comp_id;  // interned edge set (universe = num_edges)
   uint32_t conn_id;  // interned vertex set (universe = num_vertices)
@@ -44,16 +45,47 @@ struct StateKeyHash {
   }
 };
 
-// Memoized decision per state; successful states remember their bag, guard
-// choice, and child states for decomposition reconstruction. Values are
-// immutable once inserted into the shared memo. Children are interned ids —
-// 8 bytes per child instead of two bitsets.
+// Memoized decision for a *decomposable* state: the bag, guard choice, and
+// child states needed for decomposition reconstruction. Values are immutable
+// once inserted. Children are interned ids — 8 bytes per child instead of
+// two bitsets. Undecomposable states are remembered key-only in a separate
+// negative map: they carry no payload, and unlike positives they must not
+// outlive the width they were refuted at.
 struct StateValue {
-  bool exists = false;
   VertexSet chi;
   std::vector<int> lambda;  // guard indices into the family
   std::vector<StateKey> children;
 };
+
+// The cross-call share of a k-ladder (see KLadderContext in the header): the
+// interner that issues every state id, the cover-candidate index, and the
+// monotone positive memo. Built once per (h, family), reused by every rung.
+struct LadderState {
+  LadderState(const Hypergraph& h_in, const GuardFamily& family_in,
+              int num_threads)
+      : h(&h_in),
+        family(&family_in),
+        // One interner shard when sequential: shard setup is per-search
+        // overhead, and without workers there is no contention to spread.
+        interner(num_threads > 1 ? 16 : 1),
+        index(h_in, family_in) {}
+
+  const Hypergraph* h;
+  const GuardFamily* family;
+  SetInterner interner;
+  CoverIndex index;
+  StripedMap<StateKey, StateValue, StateKeyHash> positive;
+  int max_k = 0;  // largest k decided so far; enforces nondecreasing rungs
+};
+
+}  // namespace internal
+
+namespace {
+
+using internal::LadderState;
+using internal::StateKey;
+using internal::StateKeyHash;
+using internal::StateValue;
 
 // Cancellation scope for speculative branches: OR-forks fire their token when
 // a sibling guard choice wins, AND-forks when a sibling component fails.
@@ -83,8 +115,6 @@ struct CancelToken {
 constexpr int kMaxForkDepth = 6;
 
 struct Decider {
-  explicit Decider(int interner_shards) : interner(interner_shards) {}
-
   const Hypergraph* h;
   const GuardFamily* family;
   const CoverIndex* index;
@@ -95,10 +125,14 @@ struct Decider {
 
   std::atomic<long> states{0};
   // The interner owns every component/connector/separator set of the search;
-  // the memo and the negative-separator cache key by its ids. All three are
-  // torn down together, which is what makes the borrowed ids safe.
-  SetInterner interner;
-  StripedMap<StateKey, StateValue, StateKeyHash> memo;
+  // both memos and the negative-separator cache key by its ids. Interner and
+  // positive memo live in the LadderState (per-call or shared across a
+  // k-ladder — they are torn down together, which is what makes the borrowed
+  // ids safe); the negative memo and the separator cache are per-call, since
+  // a refutation at width k says nothing at width k+1.
+  SetInterner* interner = nullptr;
+  StripedMap<StateKey, StateValue, StateKeyHash>* pos_memo = nullptr;
+  StripedMap<StateKey, char, StateKeyHash> neg_memo;
   NegSeparatorCache neg_cache;
 
   bool Tick() {
@@ -118,7 +152,7 @@ struct Decider {
   // first sight.
   uint32_t InternCharged(const VertexSet& s) {
     bool inserted = false;
-    const uint32_t id = interner.Intern(s, &inserted);
+    const uint32_t id = interner->Intern(s, &inserted);
     if (inserted) budget->Charge(ApproxBytes(s));
     return id;
   }
@@ -254,7 +288,6 @@ struct Decider {
       if (!OutOfBudget() && !cancel->Cancelled()) fail_proven();
       return false;
     }
-    value->exists = true;
     value->chi = std::move(chi);
     value->lambda = lambda;
     value->children = std::move(children);
@@ -263,13 +296,18 @@ struct Decider {
 
   // Enumerates guard subsets of size <= k over `candidates`, evaluating each
   // complete connector-covering choice; returns true on first success.
+  // `suffix_cover[i]` is the union of guards[candidates[i..]]: a branch whose
+  // remaining connector is not inside the suffix union can never complete a
+  // cover, so the whole subtree is pruned with one subset test.
   bool EnumerateLambda(const StateKey& key, const VertexSet& comp,
                        const VertexSet& conn, const VertexSet& v_comp,
-                       const std::vector<int>& candidates, size_t from,
+                       const std::vector<int>& candidates,
+                       const std::vector<VertexSet>& suffix_cover, size_t from,
                        std::vector<int>* lambda, const VertexSet& conn_left,
                        const CancelToken* cancel, int depth,
                        StateValue* value) {
     if (cancel->Cancelled()) return false;
+    if (!conn_left.IsSubsetOf(suffix_cover[from])) return false;
     if (!Tick()) return false;  // Bound the subset enumeration itself.
     if (!lambda->empty() && conn_left.Empty()) {
       if (TryLambda(key, comp, conn, v_comp, *lambda, cancel, depth, value)) {
@@ -283,8 +321,8 @@ struct Decider {
       lambda->push_back(g);
       VertexSet next_conn = conn_left;
       next_conn -= family->guards[g];
-      if (EnumerateLambda(key, comp, conn, v_comp, candidates, i + 1, lambda,
-                          next_conn, cancel, depth, value)) {
+      if (EnumerateLambda(key, comp, conn, v_comp, candidates, suffix_cover,
+                          i + 1, lambda, next_conn, cancel, depth, value)) {
         return true;
       }
       lambda->pop_back();
@@ -302,18 +340,21 @@ struct Decider {
   bool EnumerateLambdaParallel(const StateKey& key, const VertexSet& comp,
                                const VertexSet& conn, const VertexSet& v_comp,
                                const std::vector<int>& candidates,
+                               const std::vector<VertexSet>& suffix_cover,
                                const CancelToken* cancel, int depth,
                                StateValue* out) {
     if (!Tick()) return false;  // The enumeration root, as in sequential.
     auto try_partition = [this, &key, &comp, &conn, &v_comp, &candidates,
-                          depth](size_t i, const CancelToken* token,
-                                 StateValue* value) {
+                          &suffix_cover, depth](size_t i,
+                                                const CancelToken* token,
+                                                StateValue* value) {
       const int g = candidates[i];
       std::vector<int> lambda(1, g);
       VertexSet conn_left = conn;
       conn_left -= family->guards[g];
-      return EnumerateLambda(key, comp, conn, v_comp, candidates, i + 1,
-                             &lambda, conn_left, token, depth + 1, value);
+      return EnumerateLambda(key, comp, conn, v_comp, candidates, suffix_cover,
+                             i + 1, &lambda, conn_left, token, depth + 1,
+                             value);
     };
     if (try_partition(0, cancel, out)) return true;
     if (candidates.size() <= 1 || OutOfBudget() || cancel->Cancelled()) {
@@ -349,37 +390,53 @@ struct Decider {
   }
 
   bool Decide(const StateKey& key, const CancelToken* cancel, int depth) {
-    if (const StateValue* hit = memo.Find(key)) {
+    // Positive memo first: a decomposable state stays decomposable at any
+    // larger width, so a hit is valid whether the entry came from this call
+    // or from an earlier rung of a shared k-ladder. Negative entries are only
+    // ever this call's own (per-call map), so a hit there is a width-k
+    // refutation by construction.
+    if (pos_memo->Find(key) != nullptr) {
       GHD_COUNT(kDeciderMemoHits);
-      return hit->exists;
+      return true;
+    }
+    if (neg_memo.Find(key) != nullptr) {
+      GHD_COUNT(kDeciderMemoHits);
+      return false;
     }
     GHD_COUNT(kDeciderMemoMisses);
     if (cancel->Cancelled()) return false;
     if (!Tick()) return false;
 
-    const VertexSet& comp = interner.Resolve(key.comp_id);
-    const VertexSet& conn = interner.Resolve(key.conn_id);
+    const VertexSet& comp = interner->Resolve(key.comp_id);
+    const VertexSet& conn = interner->Resolve(key.conn_id);
     const VertexSet v_comp = VerticesOf(comp);
     // Candidate guards from the index: only guards touching the component
     // can contribute to chi, connector-covering ones first.
     std::vector<int> candidates;
     index->CandidatesFor(v_comp, conn, &candidates);
+    // Suffix cover unions for the futility prune in EnumerateLambda. One
+    // O(|candidates|) pass here saves whole subset subtrees per state.
+    std::vector<VertexSet> suffix_cover(candidates.size() + 1);
+    suffix_cover[candidates.size()] = VertexSet(h->num_vertices());
+    for (size_t i = candidates.size(); i-- > 0;) {
+      suffix_cover[i] = suffix_cover[i + 1];
+      suffix_cover[i] |= family->guards[candidates[i]];
+    }
     StateValue value;
     bool ok;
     if (ShouldFork(depth, candidates.size())) {
-      ok = EnumerateLambdaParallel(key, comp, conn, v_comp, candidates, cancel,
-                                   depth, &value);
+      ok = EnumerateLambdaParallel(key, comp, conn, v_comp, candidates,
+                                   suffix_cover, cancel, depth, &value);
     } else {
       std::vector<int> lambda;
-      ok = EnumerateLambda(key, comp, conn, v_comp, candidates, 0, &lambda,
-                           conn, cancel, depth, &value);
+      ok = EnumerateLambda(key, comp, conn, v_comp, candidates, suffix_cover,
+                           0, &lambda, conn, cancel, depth, &value);
     }
     if (ok) {
       // Successes are complete witnesses regardless of cancellation or
       // budget state: memoize unconditionally, so every true child a parent
       // references is resident for reconstruction.
-      value.exists = true;
-      Memoize(key, std::move(value), /*truncated=*/false);
+      MemoizeTrue(key, std::move(value));
       return true;
     }
     // A false under cancellation or exhausted budget may be a truncated
@@ -387,36 +444,43 @@ struct Decider {
     // cache rule (see util/resource_governor.h): a truncated run must never
     // poison a memo entry with an unproven refutation. The truncation test
     // runs exactly once so that the discard decision and the soundness
-    // accounting in Memoize see the same answer.
+    // accounting in MemoizeFalse see the same answer.
     const bool truncated = OutOfBudget() || cancel->Cancelled();
     if (truncated) {
       GHD_COUNT(kDeciderUnprovenFalse);
       return false;
     }
-    value.exists = false;
-    Memoize(key, std::move(value), truncated);
+    MemoizeFalse(key, truncated);
     return false;
   }
 
-  // Inserts into the memo, accounting its approximate footprint against the
-  // memory budget (the chi bitset dominates; key and children are interned
-  // ids, and the canonical component/connector copies were charged when they
-  // entered the interner). A negative value under truncation is refused
-  // outright — that would cache an unproven refutation; the refusal counter
-  // is the observable invariant (decider_memo_poisoned stays 0 as long as
-  // every caller discards truncated negatives before reaching here).
-  void Memoize(const StateKey& key, StateValue value, bool truncated) {
-    if (!value.exists && truncated) {
-      GHD_COUNT(kDeciderMemoPoisoned);
-      return;
-    }
+  // Inserts a positive witness into the (possibly cross-rung) memo,
+  // accounting its approximate footprint against the memory budget (the chi
+  // bitset dominates; key and children are interned ids, and the canonical
+  // component/connector copies were charged when they entered the interner).
+  void MemoizeTrue(const StateKey& key, StateValue value) {
     GHD_COUNT(kDeciderMemoInserts);
     const size_t bytes = sizeof(StateKey) + sizeof(StateValue) +
                          ApproxBytes(value.chi) +
                          value.lambda.size() * sizeof(int) +
                          value.children.size() * sizeof(StateKey);
     budget->Charge(bytes);
-    memo.Insert(key, std::move(value));
+    pos_memo->Insert(key, std::move(value));
+  }
+
+  // Records a proven width-k refutation in the per-call negative map. A
+  // negative under truncation is refused outright — that would cache an
+  // unproven refutation; the refusal counter is the observable invariant
+  // (decider_memo_poisoned stays 0 as long as every caller discards
+  // truncated negatives before reaching here).
+  void MemoizeFalse(const StateKey& key, bool truncated) {
+    if (truncated) {
+      GHD_COUNT(kDeciderMemoPoisoned);
+      return;
+    }
+    GHD_COUNT(kDeciderMemoInserts);
+    budget->Charge(sizeof(StateKey) + 1);
+    neg_memo.Insert(key, 1);
   }
 
   static size_t ApproxBytes(const VertexSet& s) {
@@ -427,8 +491,8 @@ struct Decider {
   // index of the subtree root in `out`.
   int Reconstruct(const StateKey& key,
                   GeneralizedHypertreeDecomposition* out) {
-    const StateValue* value = memo.Find(key);
-    GHD_CHECK(value != nullptr && value->exists);
+    const StateValue* value = pos_memo->Find(key);
+    GHD_CHECK(value != nullptr);
     const int node = out->num_nodes();
     out->bags.push_back(value->chi);
     std::vector<int> edge_ids;
@@ -458,8 +522,24 @@ GuardFamily OriginalEdgesFamily(const Hypergraph& h) {
   return family;
 }
 
+KLadderContext::KLadderContext(const Hypergraph& h, const GuardFamily& family,
+                               int num_threads)
+    : state_(std::make_unique<internal::LadderState>(
+          h, family, ThreadPool::EffectiveThreads(num_threads))) {}
+
+KLadderContext::~KLadderContext() = default;
+
+size_t KLadderContext::interned_sets() const {
+  return state_->interner.Size();
+}
+
+size_t KLadderContext::positive_states() const {
+  return state_->positive.Size();
+}
+
 KDeciderResult DecideWidthK(const Hypergraph& h, const GuardFamily& family,
-                            int k, const KDeciderOptions& options) {
+                            int k, const KDeciderOptions& options,
+                            KLadderContext* ladder) {
   GHD_CHECK(k >= 1);
   const bool has_parents = family.HasParents();
   for (int g = 0; g < family.size(); ++g) {
@@ -491,14 +571,30 @@ KDeciderResult DecideWidthK(const Hypergraph& h, const GuardFamily& family,
     budget = &local_budget;
   }
 
-  const CoverIndex index(h, family);
+  // The interner, cover index, and positive memo live in a LadderState:
+  // either the caller's KLadderContext (reused and extended across a whole
+  // nondecreasing-k ladder) or a private one scoped to this call. Both paths
+  // run the identical engine; only the lifetime of the shared half differs.
+  std::unique_ptr<LadderState> local_state;
+  LadderState* state;
+  if (ladder != nullptr) {
+    state = ladder->state_.get();
+    // The ids in the carried-over memo name sets of *this* instance and
+    // family; positive carry is monotone only for nondecreasing k.
+    GHD_CHECK(state->h == &h && state->family == &family);
+    GHD_CHECK(k >= state->max_k);
+    state->max_k = k;
+  } else {
+    local_state = std::make_unique<LadderState>(h, family, threads);
+    state = local_state.get();
+  }
 
-  // One interner shard when sequential: shard setup is per-search overhead,
-  // and without workers there is no contention to spread.
-  Decider decider(threads > 1 ? 16 : 1);
+  Decider decider;
   decider.h = &h;
   decider.family = &family;
-  decider.index = &index;
+  decider.index = &state->index;
+  decider.interner = &state->interner;
+  decider.pos_memo = &state->positive;
   decider.k = k;
   decider.options = options;
   decider.pool = pool.get();

@@ -15,6 +15,8 @@
 #ifndef GHD_CORE_K_DECIDER_H_
 #define GHD_CORE_K_DECIDER_H_
 
+#include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "core/ghd.h"
@@ -78,13 +80,65 @@ struct KDeciderResult {
   Outcome outcome;
 };
 
+namespace internal {
+struct LadderState;  // defined in k_decider.cc
+}
+
+/// Shared, reusable search state for a *k-ladder*: a sequence of DecideWidthK
+/// calls over the same hypergraph and guard family with nondecreasing k (the
+/// hw iteration, GhwViaFullClosure, the anytime det-k rung). Three structures
+/// are built once and reused across every rung instead of per call:
+///
+///  * the SetInterner holding every component/connector/separator set (ids
+///    stay stable across rungs, so memo keys carry over);
+///  * the CoverIndex (per-vertex guard bitsets + candidate ordering — the
+///    family does not change with k);
+///  * the *positive* state memo: a (component, connector) state decided
+///    decomposable at width k stays decomposable at every k' >= k (its
+///    subtree has width <= k <= k'), so positive entries are monotone in k
+///    and sound to reuse. Negative results are k-specific and stay in the
+///    per-call memo, discarded between rungs — reusing one would be exactly
+///    the unsound cross-k poisoning the decider_memo_poisoned sentinel
+///    guards against.
+///
+/// Passing the context to DecideWidthK with a *smaller* k than an earlier
+/// call is a programming error (positive carry would claim width-k' trees at
+/// width k < k') and is checked.
+class KLadderContext {
+ public:
+  /// Builds the interner and cover index for (h, family); both must outlive
+  /// the context. `num_threads` sizes the interner's shard count.
+  KLadderContext(const Hypergraph& h, const GuardFamily& family,
+                 int num_threads = 1);
+  ~KLadderContext();
+
+  KLadderContext(const KLadderContext&) = delete;
+  KLadderContext& operator=(const KLadderContext&) = delete;
+
+  /// Canonical sets interned so far (stats/tests).
+  size_t interned_sets() const;
+  /// Positive states carried across rungs so far (stats/tests).
+  size_t positive_states() const;
+
+ private:
+  friend KDeciderResult DecideWidthK(const Hypergraph& h,
+                                     const GuardFamily& family, int k,
+                                     const KDeciderOptions& options,
+                                     KLadderContext* ladder);
+  std::unique_ptr<internal::LadderState> state_;
+};
+
 /// Decides whether H admits a (normal form) decomposition of width <= k with
 /// guards from `family`. Soundness is unconditional: a positive answer comes
 /// with a validated decomposition. Completeness holds whenever the family is
 /// rich enough for the normal form (original edges for hw; a sufficient
-/// subedge closure for ghw — see core/bip.h).
+/// subedge closure for ghw — see core/bip.h). When `ladder` is non-null the
+/// call reuses (and extends) the shared interner, cover index, and positive
+/// memo — `ladder` must have been built for the same h and family, and k must
+/// be nondecreasing across the calls sharing it.
 KDeciderResult DecideWidthK(const Hypergraph& h, const GuardFamily& family,
-                            int k, const KDeciderOptions& options = {});
+                            int k, const KDeciderOptions& options = {},
+                            KLadderContext* ladder = nullptr);
 
 }  // namespace ghd
 

@@ -17,19 +17,25 @@
 #define GHD_CORE_TREE_PROJECTION_H_
 
 #include <cstddef>
+#include <string>
 
 #include "core/k_decider.h"
 #include "hypergraph/hypergraph.h"
 #include "td/tree_decomposition.h"
+#include "util/resource_governor.h"
 #include "util/status.h"
 
 namespace ghd {
 
 /// Builds H^[k]: the hypergraph over the same vertices whose edges are all
-/// distinct unions of 1..k edges of H. Fails (ResourceExhausted) when the
-/// edge count would exceed `max_edges`.
+/// distinct unions of 1..k edges of H, enumerated by an iterative frontier
+/// over edge combinations (deduped through a SetInterner, no recursion).
+/// Fails (ResourceExhausted) when the edge count would exceed `max_edges` or
+/// when the shared `budget` governor fires mid-enumeration (one tick per
+/// candidate union).
 Result<Hypergraph> KFoldUnionHypergraph(const Hypergraph& h, int k,
-                                        size_t max_edges = 200000);
+                                        size_t max_edges = 200000,
+                                        Budget* budget = nullptr);
 
 /// Tree projection decision outcome.
 struct TreeProjectionResult {
@@ -40,11 +46,17 @@ struct TreeProjectionResult {
   long states_visited = 0;
   /// Why an undecided search stopped; carried over from the k-decider.
   Outcome outcome;
+  /// Human-readable detail when `decided` is false for a structural reason
+  /// (H^[k] overflow, witness sandwich violation) rather than a budget stop.
+  std::string diagnostic;
 };
 
 /// Decides cover-normal-form TP(H, G) via the width-1 guard search over G's
 /// edges (bags of the form g ∩ V(component)). Sound: positive answers carry a
-/// validated witness. Complete when G's edges are subedge-closed.
+/// validated witness — every bag is checked to fit inside a G-edge against
+/// G's per-vertex incidence index; a violation (an engine bug, not an input
+/// error) comes back decided=false with a diagnostic instead of aborting.
+/// Complete when G's edges are subedge-closed.
 TreeProjectionResult TreeProjectionExists(const Hypergraph& h,
                                           const Hypergraph& g,
                                           const KDeciderOptions& options = {});

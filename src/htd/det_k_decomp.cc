@@ -23,11 +23,16 @@ HypertreeWidthResult HypertreeWidth(const Hypergraph& h, int max_k,
   if (max_k <= 0) max_k = h.num_edges();
   // ghw <= hw, so a GHW lower bound starts the iteration.
   const int start = std::max(1, GhwLowerBound(h));
+  // The iteration is a textbook k-ladder: one context shares the interner,
+  // cover index, and the monotone positive memo across every rung, so states
+  // proven decomposable at width k are free at k+1.
+  const GuardFamily family = OriginalEdgesFamily(h);
+  KLadderContext ladder(h, family, options.num_threads);
   for (int k = start; k <= max_k; ++k) {
     GHD_COUNT(kDetKIterations);
     GHD_SPAN_VAR(span, "htd", "det-k-decomp");
     span.SetArg("k", k);
-    KDeciderResult r = HypertreeWidthAtMost(h, k, options);
+    KDeciderResult r = DecideWidthK(h, family, k, options, &ladder);
     result.states_visited += r.states_visited;
     result.outcome = r.outcome;
     result.outcome.ticks = result.states_visited;

@@ -33,6 +33,8 @@ const char* const kCounterNames[kNumCounters] = {
     "cover_cache_misses",
     "dp_cells",
     "subedges_generated",
+    "guards_dominated",
+    "closure_interner_hits",
     "lp_pivots",
     "csp_nodes",
     "csp_joins",
@@ -62,6 +64,7 @@ const char* const kHistoNames[kNumHistos] = {
     "join_size",
     "interned_set_words",
     "lambda_candidates",
+    "closure_frontier_size",
 };
 
 // Registry of live shards plus the fold-in accumulator for exited threads.

@@ -50,8 +50,11 @@ enum class Counter : int {
   kCoverCacheMisses,
   // Subset DP (core/ghw_dp).
   kDpCells,             // DP cells solved
-  // Subedge closures (core/bip).
+  // Subedge closures (core/bip, core/tree_projection).
   kSubedgesGenerated,   // proper subedges emitted by a closure construction
+  kGuardsDominated,     // guards dropped by dominance pruning (g strictly
+                        // inside another added guard)
+  kClosureInternerHits, // closure candidates deduplicated via the interner
   // LP simplex (lp/simplex).
   kLpPivots,
   // CSP solvers (csp/backtracking, csp/bucket_solver).
@@ -94,6 +97,7 @@ enum class Histo : int {
   kJoinSize,            // tuples per materialized bucket-elimination join
   kInternedSetWords,    // 64-bit words per newly interned canonical set
   kLambdaCandidates,    // cover-candidate list lengths built per state
+  kClosureFrontierSize, // frontier sizes per round of demand-driven closures
   kHistoCount,          // sentinel
 };
 

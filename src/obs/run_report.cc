@@ -93,7 +93,8 @@ std::string Render(const RunReport& r, const char* nl, const char* indent) {
       std::ostringstream s;
       s << "{\"engine\": \"" << JsonEscape(step.engine)
         << "\", \"lb\": " << step.lower_bound << ", \"ub\": "
-        << step.upper_bound << ", \"at_seconds\": " << step.at_seconds << "}";
+        << step.upper_bound << ", \"at_seconds\": " << step.at_seconds
+        << ", \"rung_seconds\": " << step.rung_seconds << "}";
       out.append(s.str());
     }
     out.append(nl);

@@ -31,6 +31,8 @@ struct ReportTrailStep {
   int lower_bound = 0;
   int upper_bound = 0;
   double at_seconds = 0;
+  /// Seconds this rung itself took (delta to the previous entry).
+  double rung_seconds = 0;
 };
 
 /// The per-run summary. Fill what applies; ToJson emits only what was set

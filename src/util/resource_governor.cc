@@ -21,6 +21,8 @@ const char* StopReasonName(StopReason reason) {
       return "cancelled";
     case StopReason::kFaultInjected:
       return "fault-injected";
+    case StopReason::kGuardCap:
+      return "guard-cap";
   }
   return "unknown";
 }

@@ -45,6 +45,8 @@ enum class StopReason {
   kMemoryBudget,    // approximate memory budget exceeded
   kCancelled,       // external cooperative cancellation (e.g. SIGINT)
   kFaultInjected,   // deterministic test fault (GHD_FAULT_TICKS)
+  kGuardCap,        // guard-family size cap hit during closure generation
+                    // (set by the closure layer, never by Budget itself)
 };
 
 /// Short stable name ("deadline", "cancelled", ...) for logs and JSON.

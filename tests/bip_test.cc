@@ -14,7 +14,9 @@ namespace {
 
 TEST(SubedgeClosureTest, ContainsOriginalEdges) {
   Hypergraph h = AdderHypergraph(2);
-  GuardFamily f = BipSubedgeClosure(h);
+  SubedgeClosureResult r = BipSubedgeClosure(h);
+  EXPECT_TRUE(r.complete());
+  const GuardFamily& f = r.family;
   ASSERT_GE(f.size(), h.num_edges());
   for (int e = 0; e < h.num_edges(); ++e) {
     EXPECT_EQ(f.guards[e], h.edge(e));
@@ -24,7 +26,7 @@ TEST(SubedgeClosureTest, ContainsOriginalEdges) {
 
 TEST(SubedgeClosureTest, GuardsAreSubedgesOfParents) {
   Hypergraph h = RandomUniformHypergraph(12, 8, 4, 3);
-  GuardFamily f = BipSubedgeClosure(h);
+  const GuardFamily f = BipSubedgeClosure(h).family;
   for (int g = 0; g < f.size(); ++g) {
     EXPECT_TRUE(f.guards[g].IsSubsetOf(h.edge(f.parent_edge[g])));
     EXPECT_FALSE(f.guards[g].Empty());
@@ -33,7 +35,7 @@ TEST(SubedgeClosureTest, GuardsAreSubedgesOfParents) {
 
 TEST(SubedgeClosureTest, NoDuplicateGuards) {
   Hypergraph h = RandomUniformHypergraph(10, 8, 3, 9);
-  GuardFamily f = BipSubedgeClosure(h);
+  const GuardFamily f = BipSubedgeClosure(h).family;
   for (int a = 0; a < f.size(); ++a) {
     for (int b = a + 1; b < f.size(); ++b) {
       EXPECT_NE(f.guards[a], f.guards[b]) << a << " vs " << b;
@@ -46,8 +48,9 @@ TEST(SubedgeClosureTest, DisjointEdgesAddNothing) {
   b.AddEdge("e1", {"a", "b"});
   b.AddEdge("e2", {"c", "d"});
   Hypergraph h = std::move(b).Build();
-  GuardFamily f = BipSubedgeClosure(h);
-  EXPECT_EQ(f.size(), 2);  // no nonempty proper intersections
+  SubedgeClosureResult r = BipSubedgeClosure(h);
+  EXPECT_TRUE(r.complete());
+  EXPECT_EQ(r.family.size(), 2);  // no nonempty proper intersections
 }
 
 TEST(SubedgeClosureTest, HigherArityAddsMoreGuards) {
@@ -55,14 +58,24 @@ TEST(SubedgeClosureTest, HigherArityAddsMoreGuards) {
   SubedgeClosureOptions a1, a2;
   a1.max_union_arity = 1;
   a2.max_union_arity = 2;
-  EXPECT_LE(BipSubedgeClosure(h, a1).size(), BipSubedgeClosure(h, a2).size());
+  // Compare raw closures: pruning can shrink the higher-arity family below
+  // the lower-arity one (a new union dominates its own atoms).
+  a1.prune_dominated = false;
+  a2.prune_dominated = false;
+  EXPECT_LE(BipSubedgeClosure(h, a1).family.size(),
+            BipSubedgeClosure(h, a2).family.size());
 }
 
 TEST(SubedgeClosureTest, RespectsCap) {
   Hypergraph h = RandomUniformHypergraph(20, 15, 4, 2);
   SubedgeClosureOptions options;
   options.max_guards = 20;
-  EXPECT_LE(BipSubedgeClosure(h, options).size(), 20);
+  SubedgeClosureResult r = BipSubedgeClosure(h, options);
+  EXPECT_LE(r.family.size(), 20);
+  if (!r.complete()) {
+    EXPECT_EQ(r.stop, ClosureStop::kGuardCap);
+    EXPECT_EQ(r.stop_reason, StopReason::kGuardCap);
+  }
 }
 
 TEST(SubedgeClosureTest, BipBoundsGuardSizes) {
@@ -72,7 +85,7 @@ TEST(SubedgeClosureTest, BipBoundsGuardSizes) {
   ASSERT_LE(IntersectionWidth(h), i);
   SubedgeClosureOptions options;
   options.max_union_arity = j;
-  GuardFamily f = BipSubedgeClosure(h, options);
+  const GuardFamily f = BipSubedgeClosure(h, options).family;
   for (int g = h.num_edges(); g < f.size(); ++g) {
     EXPECT_LE(f.guards[g].Count(), j * i);
   }
@@ -83,9 +96,10 @@ TEST(FullSubedgeClosureTest, CountsAllSubsets) {
   b.AddEdge("e1", {"a", "b", "c"});
   b.AddEdge("e2", {"c", "d"});
   Hypergraph h = std::move(b).Build();
-  GuardFamily f = FullSubedgeClosure(h);
+  SubedgeClosureResult r = FullSubedgeClosure(h);
+  EXPECT_TRUE(r.complete());
   // Subsets: 7 of e1 + 3 of e2, minus the shared {c} counted once: 9.
-  EXPECT_EQ(f.size(), 9);
+  EXPECT_EQ(r.family.size(), 9);
 }
 
 TEST(FullSubedgeClosureTest, RefusesHugeRank) {
@@ -94,7 +108,9 @@ TEST(FullSubedgeClosureTest, RefusesHugeRank) {
   HypergraphBuilder b;
   b.AddEdge("big", names);
   Hypergraph h = std::move(b).Build();
-  EXPECT_EQ(FullSubedgeClosure(h).size(), 0);
+  SubedgeClosureResult r = FullSubedgeClosure(h);
+  EXPECT_EQ(r.family.size(), 0);
+  EXPECT_EQ(r.stop, ClosureStop::kRankRefusal);
 }
 
 TEST(BipGhwDecideTest, SoundOnStructuredFamilies) {

@@ -128,7 +128,7 @@ TEST(KDeciderTest, AgreesWithOrderingExactGhwThroughFullClosure) {
     Hypergraph h = RandomUniformHypergraph(9, 7, 3, seed);
     ExactGhwResult exact = ExactGhw(h);
     ASSERT_TRUE(exact.exact) << seed;
-    const GuardFamily closure = FullSubedgeClosure(h);
+    const GuardFamily closure = FullSubedgeClosure(h).family;
     ASSERT_GT(closure.size(), 0) << seed;
     for (int k = 1; k <= exact.upper_bound + 1; ++k) {
       KDeciderResult r = DecideWidthK(h, closure, k);

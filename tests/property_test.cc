@@ -108,7 +108,7 @@ TEST_P(WidthInvariants, EnginesAgree) {
   ASSERT_TRUE(ghw.exact);
 
   // Full subedge closure decider must agree with the ordering search.
-  const GuardFamily closure = FullSubedgeClosure(h);
+  const GuardFamily closure = FullSubedgeClosure(h).family;
   if (closure.size() > 0) {
     KDeciderResult at = DecideWidthK(h, closure, ghw.upper_bound);
     ASSERT_TRUE(at.decided);

@@ -11,6 +11,7 @@
 #include "gen/circuits.h"
 #include "gen/generators.h"
 #include "gen/random_hypergraphs.h"
+#include "hypergraph/kernels.h"
 
 namespace ghd {
 namespace bench {
@@ -130,6 +131,8 @@ void WriteBenchJson(const std::string& bench_name, bool full,
   out << "{\n"
       << "  \"schema_version\": " << kBenchSchemaVersion << ",\n"
       << "  \"bench\": \"" << JsonEscape(bench_name) << "\",\n"
+      << "  \"kernel_dispatch\": \""
+      << kernels::KernelDispatchName(kernels::SelectedDispatch()) << "\",\n"
       << "  \"full\": " << (full ? "true" : "false") << ",\n"
       << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
       << ",\n"

@@ -53,8 +53,13 @@ struct BenchRecord {
 /// harness in counter-enabled builds. Version 4 split the bip_tractable
 /// rows' wall time into closure and decide phases ("closure_ms" extra; the
 /// top-level wall_ms stays closure + decide) and added the "dominated" extra
-/// (guards dropped by closure dominance pruning).
-inline constexpr int kBenchSchemaVersion = 4;
+/// (guards dropped by closure dominance pruning). Version 5 added the
+/// top-level "kernel_dispatch" field: the batch-kernel implementation
+/// ("avx2" or "scalar", hypergraph/kernels.h) the run executed with.
+/// Numbers from different dispatches are different code paths — comparison
+/// tooling must check this field first (tools/perf_smoke.py refuses
+/// cross-dispatch comparisons loudly).
+inline constexpr int kBenchSchemaVersion = 5;
 
 /// Writes BENCH_<bench_name>.json in the working directory: run metadata
 /// (schema version, bench name, --full flag, hardware thread count) plus

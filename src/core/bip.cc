@@ -7,6 +7,8 @@
 #include <utility>
 #include <vector>
 
+#include "hypergraph/flat_hypergraph.h"
+#include "hypergraph/kernels.h"
 #include "obs/obs.h"
 #include "util/check.h"
 #include "util/set_interner.h"
@@ -44,15 +46,24 @@ void EnumerateParent(const Hypergraph& h, int e, int max_arity,
   const VertexSet& edge = h.edge(e);
   // Distinct nonempty atoms in first-seen (f ascending) order. Atoms equal
   // to e itself are dropped: any union containing one equals e and is never
-  // a proper subedge.
+  // a proper subedge. The e∩f sweep runs over the flat edge_bits matrix —
+  // one contiguous strip of rows, AND + emptiness/identity checks on raw
+  // words, and a VertexSet materialized only for the surviving atoms.
   std::vector<VertexSet> atoms;
   {
+    const BitMatrix& edge_bits = h.Flat().edge_bits();
+    const uint64_t* row_e = edge_bits.row(e);
+    const int words = edge_bits.logical_words();
+    std::vector<uint64_t> cut(edge_bits.stride_words(), 0);
     std::unordered_set<VertexSet, VertexSetHash> seen;
     for (int f = 0; f < h.num_edges(); ++f) {
       if (f == e) continue;
-      VertexSet a = edge;
-      a &= h.edge(f);
-      if (a.Empty() || a == edge) continue;
+      kernels::AndInto(cut.data(), row_e, edge_bits.row(f), words);
+      if (kernels::IsEmpty(cut.data(), words) ||
+          kernels::Equal(cut.data(), row_e, words)) {
+        continue;
+      }
+      VertexSet a = VertexSet::FromWords(h.num_vertices(), cut.data());
       if (seen.insert(a).second) atoms.push_back(std::move(a));
     }
   }

@@ -16,6 +16,12 @@
 // connector-covering guards first moves successes toward the front of the
 // subset tree — and the first partition is the one the parallel decider runs
 // inline before speculating.
+//
+// Both directions of the index are BitMatrix strips (hypergraph/kernels.h):
+// guards_containing_ (one row per vertex over the guard universe) drives the
+// touching-union, guard_bits_ (one row per guard over the vertex universe)
+// drives the batched |guard ∩ conn| / |guard ∩ v_comp| scoring and is shared
+// with the decider's suffix-cover futility rows.
 #ifndef GHD_CORE_COVER_INDEX_H_
 #define GHD_CORE_COVER_INDEX_H_
 
@@ -25,6 +31,7 @@
 #include <vector>
 
 #include "core/k_decider.h"
+#include "hypergraph/flat_hypergraph.h"
 #include "hypergraph/hypergraph.h"
 #include "util/bitset.h"
 
@@ -47,10 +54,15 @@ class CoverIndex {
   void CandidatesFor(const VertexSet& v_comp, const VertexSet& conn,
                      std::vector<int>* out) const;
 
+  /// One row per guard over the vertex universe — the matrix form of
+  /// family.guards, for suffix-cover unions and other batched row reads.
+  const BitMatrix& guard_bits() const { return guard_bits_; }
+
  private:
   const GuardFamily* family_;
   int num_guards_;
-  std::vector<VertexSet> guards_containing_;  // per vertex, universe = family
+  BitMatrix guards_containing_;  // rows = vertices, universe = family
+  BitMatrix guard_bits_;         // rows = guards, universe = vertices
 };
 
 /// Bounded, lock-free cache of (component, separator) pairs that are proven

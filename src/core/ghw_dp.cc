@@ -6,6 +6,8 @@
 #include <memory>
 #include <vector>
 
+#include "hypergraph/flat_hypergraph.h"
+#include "hypergraph/kernels.h"
 #include "obs/obs.h"
 #include "setcover/set_cover.h"
 #include "td/treewidth_dp.h"
@@ -44,7 +46,15 @@ std::optional<int> GhwBySubsetDp(const Hypergraph& h, int num_threads,
       return *hit;
     }
     GHD_COUNT(kCoverCacheMisses);
-    auto size = ExactSetCoverSize(bag, h.edges());
+    // Only edges meeting the bag can appear in a minimum cover (a disjoint
+    // edge covers nothing of it), so the candidate list shrinks to the flat
+    // incidence-union — word-parallel — without changing the optimum. Every
+    // bag vertex is in `covered`, so feasibility is preserved too.
+    std::vector<VertexSet> candidates;
+    kernels::FlatEdgesIntersecting(h.Flat(), bag).ForEach([&](int e) {
+      candidates.push_back(h.edge(e));
+    });
+    auto size = ExactSetCoverSize(bag, candidates);
     GHD_CHECK(size.has_value());
     GHD_HISTO(kCoverSize, *size);
     return *cover_cache.Insert(id, *size);

@@ -9,6 +9,8 @@
 #include "core/ghw_lower.h"
 #include "core/ghw_upper.h"
 #include "hypergraph/components.h"
+#include "hypergraph/flat_hypergraph.h"
+#include "hypergraph/kernels.h"
 #include "obs/obs.h"
 #include "setcover/set_cover.h"
 #include "td/lower_bounds.h"
@@ -53,9 +55,11 @@ struct Shared {
   // the incidence bitsets find them word-parallel instead of scanning all
   // hyperedges inside the cover solvers.
   std::vector<VertexSet> CoverCandidates(const VertexSet& target) const {
+    const FlatHypergraph& flat = h->Flat();
     std::vector<VertexSet> candidates;
-    h->EdgesIntersecting(target).ForEach(
-        [&](int e) { candidates.push_back(h->edge(e)); });
+    kernels::FlatEdgesIntersecting(flat, target).ForEach([&](int e) {
+      candidates.push_back(flat.edge_bits().RowAsVertexSet(e));
+    });
     return candidates;
   }
 

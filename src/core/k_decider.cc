@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstring>
 #include <memory>
 #include <mutex>
 #include <utility>
 #include <vector>
 
 #include "core/cover_index.h"
+#include "hypergraph/flat_hypergraph.h"
+#include "hypergraph/kernels.h"
 #include "obs/obs.h"
 #include "util/check.h"
 #include "util/hash_mix.h"
@@ -64,6 +67,7 @@ struct LadderState {
   LadderState(const Hypergraph& h_in, const GuardFamily& family_in,
               int num_threads)
       : h(&h_in),
+        flat(&h_in.Flat()),
         family(&family_in),
         // One interner shard when sequential: shard setup is per-search
         // overhead, and without workers there is no contention to spread.
@@ -71,6 +75,7 @@ struct LadderState {
         index(h_in, family_in) {}
 
   const Hypergraph* h;
+  const FlatHypergraph* flat;  // h's CSR/bitset-matrix view, shared by rungs
   const GuardFamily* family;
   SetInterner interner;
   CoverIndex index;
@@ -116,6 +121,7 @@ constexpr int kMaxForkDepth = 6;
 
 struct Decider {
   const Hypergraph* h;
+  const FlatHypergraph* flat;
   const GuardFamily* family;
   const CoverIndex* index;
   int k;
@@ -163,40 +169,16 @@ struct Decider {
 
   // Splits `edges_left` into connected blocks, treating vertices in `chi` as
   // removed: two edges are connected when they share a vertex outside chi.
-  // Word-parallel BFS: expanding an edge unions the incidence bitsets of its
-  // open vertices and intersects against the unseen set, no per-edge rescans.
+  // Batched BFS over the flat CSR incidence arrays (hypergraph/kernels.h):
+  // expanding an edge streams the incidence_bits rows of its open vertices,
+  // no per-edge rescans and no per-step VertexSet allocation.
   std::vector<VertexSet> SplitComponents(const VertexSet& edges_left,
                                          const VertexSet& chi) const {
-    std::vector<VertexSet> parts;
-    VertexSet unseen = edges_left;
-    std::vector<int> stack;
-    while (true) {
-      const int start = unseen.First();
-      if (start < 0) break;
-      VertexSet part(h->num_edges());
-      part.Set(start);
-      unseen.Reset(start);
-      stack.assign(1, start);
-      while (!stack.empty()) {
-        const int e = stack.back();
-        stack.pop_back();
-        VertexSet open = h->edge(e);
-        open -= chi;
-        VertexSet adj = h->EdgesIntersecting(open);
-        adj &= unseen;
-        part |= adj;
-        unseen -= adj;
-        adj.ForEach([&](int f) { stack.push_back(f); });
-      }
-      parts.push_back(std::move(part));
-    }
-    return parts;
+    return kernels::FlatSplitComponents(*flat, edges_left, chi);
   }
 
   VertexSet VerticesOf(const VertexSet& comp) const {
-    VertexSet::Builder v(h->num_vertices());
-    comp.ForEach([&](int e) { v.AddAll(h->edge(e)); });
-    return std::move(v).Build();
+    return kernels::FlatVerticesOf(*flat, comp);
   }
 
   // Evaluates one complete guard choice; fills `value` and returns true on
@@ -226,11 +208,15 @@ struct Decider {
       neg_cache.Insert(neg_key);
       return false;
     };
-    // Edges of the component fully inside chi are covered here.
+    // Edges of the component fully inside chi are covered here. Subset tests
+    // read the flat edge_bits rows — contiguous strip, one IsSubset kernel
+    // call per member edge.
     VertexSet rem = comp;
     bool covered_any = false;
+    const BitMatrix& edge_bits = flat->edge_bits();
     comp.ForEach([&](int e) {
-      if (h->edge(e).IsSubsetOf(chi)) {
+      if (kernels::IsSubset(edge_bits.row(e), chi.word_data(),
+                            chi.word_count())) {
         rem.Reset(e);
         covered_any = true;
       }
@@ -296,18 +282,23 @@ struct Decider {
 
   // Enumerates guard subsets of size <= k over `candidates`, evaluating each
   // complete connector-covering choice; returns true on first success.
-  // `suffix_cover[i]` is the union of guards[candidates[i..]]: a branch whose
-  // remaining connector is not inside the suffix union can never complete a
-  // cover, so the whole subtree is pruned with one subset test.
+  // `suffix_cover` row i is the union of guards[candidates[i..]]: a branch
+  // whose remaining connector is not inside the suffix union can never
+  // complete a cover, so the whole subtree is pruned with one subset test
+  // against the contiguous matrix row.
   bool EnumerateLambda(const StateKey& key, const VertexSet& comp,
                        const VertexSet& conn, const VertexSet& v_comp,
                        const std::vector<int>& candidates,
-                       const std::vector<VertexSet>& suffix_cover, size_t from,
+                       const BitMatrix& suffix_cover, size_t from,
                        std::vector<int>* lambda, const VertexSet& conn_left,
                        const CancelToken* cancel, int depth,
                        StateValue* value) {
     if (cancel->Cancelled()) return false;
-    if (!conn_left.IsSubsetOf(suffix_cover[from])) return false;
+    if (!kernels::IsSubset(conn_left.word_data(),
+                           suffix_cover.row(static_cast<int>(from)),
+                           conn_left.word_count())) {
+      return false;
+    }
     if (!Tick()) return false;  // Bound the subset enumeration itself.
     if (!lambda->empty() && conn_left.Empty()) {
       if (TryLambda(key, comp, conn, v_comp, *lambda, cancel, depth, value)) {
@@ -340,7 +331,7 @@ struct Decider {
   bool EnumerateLambdaParallel(const StateKey& key, const VertexSet& comp,
                                const VertexSet& conn, const VertexSet& v_comp,
                                const std::vector<int>& candidates,
-                               const std::vector<VertexSet>& suffix_cover,
+                               const BitMatrix& suffix_cover,
                                const CancelToken* cancel, int depth,
                                StateValue* out) {
     if (!Tick()) return false;  // The enumeration root, as in sequential.
@@ -414,13 +405,20 @@ struct Decider {
     // can contribute to chi, connector-covering ones first.
     std::vector<int> candidates;
     index->CandidatesFor(v_comp, conn, &candidates);
-    // Suffix cover unions for the futility prune in EnumerateLambda. One
-    // O(|candidates|) pass here saves whole subset subtrees per state.
-    std::vector<VertexSet> suffix_cover(candidates.size() + 1);
-    suffix_cover[candidates.size()] = VertexSet(h->num_vertices());
+    // Suffix cover unions for the futility prune in EnumerateLambda, one
+    // matrix row per suffix: row i = row i+1 | guard_bits[candidates[i]],
+    // built back to front with whole-row kernel ops. One O(|candidates|)
+    // pass here saves whole subset subtrees per state.
+    const BitMatrix& guard_bits = index->guard_bits();
+    BitMatrix suffix_cover(static_cast<int>(candidates.size()) + 1,
+                           h->num_vertices());
+    const int stride = suffix_cover.stride_words();
     for (size_t i = candidates.size(); i-- > 0;) {
-      suffix_cover[i] = suffix_cover[i + 1];
-      suffix_cover[i] |= family->guards[candidates[i]];
+      const int row = static_cast<int>(i);
+      std::memcpy(suffix_cover.row(row), suffix_cover.row(row + 1),
+                  sizeof(uint64_t) * stride);
+      kernels::OrInto(suffix_cover.row(row), guard_bits.row(candidates[i]),
+                      guard_bits.logical_words());
     }
     StateValue value;
     bool ok;
@@ -591,6 +589,7 @@ KDeciderResult DecideWidthK(const Hypergraph& h, const GuardFamily& family,
 
   Decider decider;
   decider.h = &h;
+  decider.flat = state->flat;
   decider.family = &family;
   decider.index = &state->index;
   decider.interner = &state->interner;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "hypergraph/flat_hypergraph.h"
+#include "hypergraph/kernels.h"
 #include "util/check.h"
 
 namespace ghd {
@@ -25,6 +27,7 @@ Hypergraph::Hypergraph(std::vector<std::string> vertex_names,
       incident_edges_[v].Set(e);
     });
   }
+  flat_ = std::make_shared<const FlatHypergraph>(*this);
 }
 
 int Hypergraph::VertexIdOf(const std::string& name) const {
@@ -33,15 +36,11 @@ int Hypergraph::VertexIdOf(const std::string& name) const {
 }
 
 VertexSet Hypergraph::UnionOfEdges(const std::vector<int>& edge_ids) const {
-  VertexSet::Builder u(num_vertices());
-  for (int e : edge_ids) u.AddAll(edges_[e]);
-  return std::move(u).Build();
+  return kernels::FlatUnionOfEdges(*flat_, edge_ids);
 }
 
 VertexSet Hypergraph::EdgesIntersecting(const VertexSet& vs) const {
-  VertexSet::Builder ids(num_edges());
-  vs.ForEach([&](int v) { ids.AddAll(incident_edges_[v]); });
-  return std::move(ids).Build();
+  return kernels::FlatEdgesIntersecting(*flat_, vs);
 }
 
 VertexSet Hypergraph::CoveredVertices() const {

@@ -4,6 +4,7 @@
 #ifndef GHD_HYPERGRAPH_HYPERGRAPH_H_
 #define GHD_HYPERGRAPH_HYPERGRAPH_H_
 
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -12,6 +13,8 @@
 #include "util/bitset.h"
 
 namespace ghd {
+
+class FlatHypergraph;
 
 /// Immutable-after-construction hypergraph. Build with HypergraphBuilder.
 class Hypergraph {
@@ -71,6 +74,11 @@ class Hypergraph {
   /// True when the primal graph restricted to covered vertices is connected.
   bool IsConnected() const;
 
+  /// The flat CSR + bitset-matrix view (hypergraph/flat_hypergraph.h),
+  /// built eagerly at construction and shared by copies — the engines and
+  /// the batch kernels read it on every hot-path step.
+  const FlatHypergraph& Flat() const { return *flat_; }
+
  private:
   std::vector<std::string> vertex_names_;
   std::vector<std::string> edge_names_;
@@ -78,6 +86,9 @@ class Hypergraph {
   std::unordered_map<std::string, int> vertex_ids_;
   std::vector<std::vector<int>> incidence_;
   std::vector<VertexSet> incident_edges_;  // per vertex, universe num_edges
+  // shared_ptr, not value: copies of an immutable Hypergraph share one flat
+  // view instead of rebuilding the matrices.
+  std::shared_ptr<const FlatHypergraph> flat_;
 };
 
 }  // namespace ghd

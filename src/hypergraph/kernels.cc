@@ -1,0 +1,492 @@
+#include "hypergraph/kernels.h"
+
+#include <atomic>
+#include <bit>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/obs.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define GHD_KERNELS_X86 1
+#else
+#define GHD_KERNELS_X86 0
+#endif
+
+namespace ghd {
+namespace kernels {
+namespace {
+
+// Dispatch state: -1 = not yet resolved, otherwise a KernelDispatch value.
+// Resolved once (cpuid + GHD_FORCE_SCALAR) on first use; ForceScalarKernels
+// overwrites it. A relaxed atomic is enough — any interleaving yields a valid
+// dispatch and both dispatches compute identical bits.
+std::atomic<int> g_dispatch{-1};
+
+KernelDispatch DetectDispatch() {
+  const char* env = std::getenv("GHD_FORCE_SCALAR");
+  if (env != nullptr && env[0] != '\0' && !(env[0] == '0' && env[1] == '\0')) {
+    return KernelDispatch::kScalar;
+  }
+  return HardwareDispatch();
+}
+
+inline bool UseAvx2() {
+  int d = g_dispatch.load(std::memory_order_relaxed);
+  if (d < 0) {
+    d = static_cast<int>(DetectDispatch());
+    g_dispatch.store(d, std::memory_order_relaxed);
+  }
+  return d == static_cast<int>(KernelDispatch::kAvx2);
+}
+
+#if GHD_KERNELS_X86
+
+// AVX2 variants: compiled for this translation unit with function-level
+// target attributes, so the rest of the library keeps the portable baseline
+// ISA and these bodies are only ever entered behind the cpuid check above.
+
+__attribute__((target("avx2"))) void OrIntoAvx2(uint64_t* dst,
+                                                const uint64_t* src,
+                                                int words) {
+  int i = 0;
+  for (; i + 4 <= words; i += 4) {
+    __m256i a = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    __m256i b = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_or_si256(a, b));
+  }
+  for (; i < words; ++i) dst[i] |= src[i];
+}
+
+__attribute__((target("avx2"))) void AndAssignAvx2(uint64_t* dst,
+                                                   const uint64_t* src,
+                                                   int words) {
+  int i = 0;
+  for (; i + 4 <= words; i += 4) {
+    __m256i a = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    __m256i b = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_and_si256(a, b));
+  }
+  for (; i < words; ++i) dst[i] &= src[i];
+}
+
+__attribute__((target("avx2"))) void AndNotAssignAvx2(uint64_t* dst,
+                                                      const uint64_t* src,
+                                                      int words) {
+  int i = 0;
+  for (; i + 4 <= words; i += 4) {
+    __m256i a = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    __m256i b = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    // andnot computes ~first & second.
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_andnot_si256(b, a));
+  }
+  for (; i < words; ++i) dst[i] &= ~src[i];
+}
+
+__attribute__((target("avx2"))) void AndIntoAvx2(uint64_t* dst,
+                                                 const uint64_t* a,
+                                                 const uint64_t* b,
+                                                 int words) {
+  int i = 0;
+  for (; i + 4 <= words; i += 4) {
+    __m256i x = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    __m256i y = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_and_si256(x, y));
+  }
+  for (; i < words; ++i) dst[i] = a[i] & b[i];
+}
+
+__attribute__((target("avx2"))) bool IsSubsetAvx2(const uint64_t* a,
+                                                  const uint64_t* b,
+                                                  int words) {
+  int i = 0;
+  for (; i + 4 <= words; i += 4) {
+    __m256i x = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    __m256i y = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    // x & ~y must be all-zero; testz returns 1 iff (~y & x) == 0.
+    if (!_mm256_testz_si256(_mm256_andnot_si256(y, x),
+                            _mm256_andnot_si256(y, x))) {
+      return false;
+    }
+  }
+  for (; i < words; ++i) {
+    if ((a[i] & ~b[i]) != 0) return false;
+  }
+  return true;
+}
+
+__attribute__((target("avx2"))) void UnionRowsAvx2(uint64_t* dst,
+                                                   const BitMatrix& m,
+                                                   const int32_t* ids,
+                                                   int count) {
+  const int stride = m.stride_words();
+  for (int w = 0; w + 4 <= stride; w += 4) {
+    __m256i acc =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + w));
+    for (int i = 0; i < count; ++i) {
+      const uint64_t* row = m.row(ids[i]);
+      acc = _mm256_or_si256(
+          acc, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(row + w)));
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + w), acc);
+  }
+}
+
+// Horizontal popcount of one 256-bit lane via the nibble-LUT trick; returns
+// per-64-bit-lane counts summed into a scalar by the caller via hadd.
+__attribute__((target("avx2"))) inline __m256i Popcount256(__m256i v) {
+  const __m256i lut = _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2,
+                                       3, 3, 4, 0, 1, 1, 2, 1, 2, 2, 3, 1, 2,
+                                       2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  __m256i lo = _mm256_and_si256(v, low_mask);
+  __m256i hi = _mm256_and_si256(_mm256_srli_epi32(v, 4), low_mask);
+  __m256i cnt = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                                _mm256_shuffle_epi8(lut, hi));
+  return _mm256_sad_epu8(cnt, _mm256_setzero_si256());
+}
+
+// `probe` must hold m.stride_words() words (callers pad with zeros), so the
+// lane loop covers every word — the zero padding contributes nothing to the
+// counts and there is no scalar tail.
+__attribute__((target("avx2"))) void AndPopcountRowsAvx2(
+    const uint64_t* probe, const BitMatrix& m, const int32_t* ids, int count,
+    int* out) {
+  const int words = m.stride_words();
+  const int lanes = words;
+  int i = 0;
+  // Process guard rows in pairs: two independent accumulator chains per
+  // lane-loop iteration keep the load ports busy.
+  for (; i + 2 <= count; i += 2) {
+    const uint64_t* r0 = m.row(ids[i]);
+    const uint64_t* r1 = m.row(ids[i + 1]);
+    __m256i acc0 = _mm256_setzero_si256();
+    __m256i acc1 = _mm256_setzero_si256();
+    for (int w = 0; w < lanes; w += 4) {
+      __m256i p =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(probe + w));
+      acc0 = _mm256_add_epi64(
+          acc0, Popcount256(_mm256_and_si256(
+                    p, _mm256_loadu_si256(
+                           reinterpret_cast<const __m256i*>(r0 + w)))));
+      acc1 = _mm256_add_epi64(
+          acc1, Popcount256(_mm256_and_si256(
+                    p, _mm256_loadu_si256(
+                           reinterpret_cast<const __m256i*>(r1 + w)))));
+    }
+    uint64_t c0 = static_cast<uint64_t>(_mm256_extract_epi64(acc0, 0)) +
+                  static_cast<uint64_t>(_mm256_extract_epi64(acc0, 1)) +
+                  static_cast<uint64_t>(_mm256_extract_epi64(acc0, 2)) +
+                  static_cast<uint64_t>(_mm256_extract_epi64(acc0, 3));
+    uint64_t c1 = static_cast<uint64_t>(_mm256_extract_epi64(acc1, 0)) +
+                  static_cast<uint64_t>(_mm256_extract_epi64(acc1, 1)) +
+                  static_cast<uint64_t>(_mm256_extract_epi64(acc1, 2)) +
+                  static_cast<uint64_t>(_mm256_extract_epi64(acc1, 3));
+    for (int w = lanes; w < words; ++w) {
+      c0 += static_cast<uint64_t>(std::popcount(probe[w] & r0[w]));
+      c1 += static_cast<uint64_t>(std::popcount(probe[w] & r1[w]));
+    }
+    out[i] = static_cast<int>(c0);
+    out[i + 1] = static_cast<int>(c1);
+  }
+  for (; i < count; ++i) {
+    const uint64_t* row = m.row(ids[i]);
+    int c = 0;
+    for (int w = 0; w < words; ++w) c += std::popcount(probe[w] & row[w]);
+    out[i] = c;
+  }
+}
+
+#endif  // GHD_KERNELS_X86
+
+// Row widths below which the AVX2 batch bodies lose to the plain word
+// loops: a one-lane row is mostly padding when only 1-2 words carry bits,
+// and the nibble-LUT popcount can't beat one or two hardware popcnts. The
+// scalar fallbacks walk logical words only (row padding is always zero), so
+// small-universe instances pay for exactly the words they use.
+constexpr int kUnionAvx2MinWords = 3;
+constexpr int kPopcountAvx2MinWords = 2;
+
+void UnionRowsScalar(uint64_t* dst, const BitMatrix& m, const int32_t* ids,
+                     int count) {
+  const int words = m.logical_words();
+  for (int i = 0; i < count; ++i) {
+    const uint64_t* row = m.row(ids[i]);
+    for (int w = 0; w < words; ++w) dst[w] |= row[w];
+  }
+}
+
+void AndPopcountRowsScalar(const uint64_t* probe, const BitMatrix& m,
+                           const int32_t* ids, int count, int* out) {
+  const int words = m.logical_words();
+  for (int i = 0; i < count; ++i) {
+    const uint64_t* row = m.row(ids[i]);
+    int c = 0;
+    for (int w = 0; w < words; ++w) c += std::popcount(probe[w] & row[w]);
+    out[i] = c;
+  }
+}
+
+}  // namespace
+
+const char* KernelDispatchName(KernelDispatch d) {
+  return d == KernelDispatch::kAvx2 ? "avx2" : "scalar";
+}
+
+KernelDispatch HardwareDispatch() {
+#if GHD_KERNELS_X86
+  if (__builtin_cpu_supports("avx2")) return KernelDispatch::kAvx2;
+#endif
+  return KernelDispatch::kScalar;
+}
+
+KernelDispatch SelectedDispatch() {
+  int d = g_dispatch.load(std::memory_order_relaxed);
+  if (d < 0) {
+    d = static_cast<int>(DetectDispatch());
+    g_dispatch.store(d, std::memory_order_relaxed);
+  }
+  return static_cast<KernelDispatch>(d);
+}
+
+void ForceScalarKernels(bool force) {
+  g_dispatch.store(static_cast<int>(force ? KernelDispatch::kScalar
+                                          : DetectDispatch()),
+                   std::memory_order_relaxed);
+}
+
+void OrInto(uint64_t* dst, const uint64_t* src, int words) {
+#if GHD_KERNELS_X86
+  if (UseAvx2()) {
+    OrIntoAvx2(dst, src, words);
+    return;
+  }
+#endif
+  for (int i = 0; i < words; ++i) dst[i] |= src[i];
+}
+
+void AndAssign(uint64_t* dst, const uint64_t* src, int words) {
+#if GHD_KERNELS_X86
+  if (UseAvx2()) {
+    AndAssignAvx2(dst, src, words);
+    return;
+  }
+#endif
+  for (int i = 0; i < words; ++i) dst[i] &= src[i];
+}
+
+void AndNotAssign(uint64_t* dst, const uint64_t* src, int words) {
+#if GHD_KERNELS_X86
+  if (UseAvx2()) {
+    AndNotAssignAvx2(dst, src, words);
+    return;
+  }
+#endif
+  for (int i = 0; i < words; ++i) dst[i] &= ~src[i];
+}
+
+void AndInto(uint64_t* dst, const uint64_t* a, const uint64_t* b, int words) {
+#if GHD_KERNELS_X86
+  if (UseAvx2()) {
+    AndIntoAvx2(dst, a, b, words);
+    return;
+  }
+#endif
+  for (int i = 0; i < words; ++i) dst[i] = a[i] & b[i];
+}
+
+bool IsSubset(const uint64_t* a, const uint64_t* b, int words) {
+#if GHD_KERNELS_X86
+  if (UseAvx2()) return IsSubsetAvx2(a, b, words);
+#endif
+  for (int i = 0; i < words; ++i) {
+    if ((a[i] & ~b[i]) != 0) return false;
+  }
+  return true;
+}
+
+bool IsEmpty(const uint64_t* row, int words) {
+  for (int i = 0; i < words; ++i) {
+    if (row[i] != 0) return false;
+  }
+  return true;
+}
+
+bool Equal(const uint64_t* a, const uint64_t* b, int words) {
+  return std::memcmp(a, b, sizeof(uint64_t) * static_cast<size_t>(words)) == 0;
+}
+
+int Popcount(const uint64_t* row, int words) {
+  int c = 0;
+  for (int i = 0; i < words; ++i) c += std::popcount(row[i]);
+  return c;
+}
+
+int AndPopcount(const uint64_t* a, const uint64_t* b, int words) {
+  int c = 0;
+  for (int i = 0; i < words; ++i) c += std::popcount(a[i] & b[i]);
+  return c;
+}
+
+void UnionRowsInto(uint64_t* dst, const BitMatrix& m, const int32_t* ids,
+                   int count) {
+  if (count == 0) return;
+#if GHD_KERNELS_X86
+  if (m.logical_words() >= kUnionAvx2MinWords && UseAvx2()) {
+    GHD_COUNT_N(kKernelBatches, (m.stride_words() + 3) / 4);
+    UnionRowsAvx2(dst, m, ids, count);
+    return;
+  }
+#endif
+  GHD_COUNT(kKernelScalarFallbacks);
+  UnionRowsScalar(dst, m, ids, count);
+}
+
+void AndPopcountRows(const uint64_t* probe, const BitMatrix& m,
+                     const int32_t* ids, int count, int* out) {
+  if (count == 0) return;
+#if GHD_KERNELS_X86
+  if (m.logical_words() >= kPopcountAvx2MinWords && UseAvx2()) {
+    GHD_COUNT_N(kKernelBatches, (count + 1) / 2);
+    // Widen the probe to the padded row stride so the AVX2 body runs whole
+    // lanes with no per-row scalar tail.
+    thread_local std::vector<uint64_t> padded;
+    padded.assign(static_cast<size_t>(m.stride_words()), 0);
+    std::memcpy(padded.data(), probe,
+                sizeof(uint64_t) * static_cast<size_t>(m.logical_words()));
+    AndPopcountRowsAvx2(padded.data(), m, ids, count, out);
+    return;
+  }
+#endif
+  GHD_COUNT(kKernelScalarFallbacks);
+  AndPopcountRowsScalar(probe, m, ids, count, out);
+}
+
+namespace {
+
+// Per-thread scratch for the flat algorithms: grown once, reused across
+// calls, so the solver hot paths stay allocation-free after warmup. None of
+// the functions below call each other, so one arena per purpose suffices.
+struct FlatScratch {
+  std::vector<uint64_t> words_a;  // padded edge-universe row (adj / part)
+  std::vector<uint64_t> words_b;  // padded edge-universe row (unseen)
+  std::vector<uint64_t> words_c;  // padded vertex-universe row (unions)
+  std::vector<int32_t> ids;       // gathered row ids
+  std::vector<int32_t> stack;     // BFS worklist of edge ids
+};
+
+FlatScratch& Scratch() {
+  thread_local FlatScratch scratch;
+  return scratch;
+}
+
+inline void ZeroResize(std::vector<uint64_t>* v, int words) {
+  v->assign(static_cast<size_t>(words), 0);
+}
+
+}  // namespace
+
+VertexSet UnionRows(const BitMatrix& m, const VertexSet& selector) {
+  FlatScratch& s = Scratch();
+  ZeroResize(&s.words_c, m.stride_words());
+  s.ids.clear();
+  selector.ForEach([&](int r) { s.ids.push_back(r); });
+  UnionRowsInto(s.words_c.data(), m, s.ids.data(),
+                static_cast<int>(s.ids.size()));
+  return VertexSet::FromWords(m.universe(), s.words_c.data());
+}
+
+VertexSet FlatEdgesIntersecting(const FlatHypergraph& flat,
+                                const VertexSet& vs) {
+  return UnionRows(flat.incidence_bits(), vs);
+}
+
+VertexSet FlatUnionOfEdges(const FlatHypergraph& flat,
+                           const std::vector<int>& edge_ids) {
+  const BitMatrix& eb = flat.edge_bits();
+  FlatScratch& s = Scratch();
+  ZeroResize(&s.words_c, eb.stride_words());
+  s.ids.assign(edge_ids.begin(), edge_ids.end());
+  UnionRowsInto(s.words_c.data(), eb, s.ids.data(),
+                static_cast<int>(s.ids.size()));
+  return VertexSet::FromWords(flat.num_vertices(), s.words_c.data());
+}
+
+VertexSet FlatVerticesOf(const FlatHypergraph& flat,
+                         const VertexSet& edge_set) {
+  return UnionRows(flat.edge_bits(), edge_set);
+}
+
+std::vector<VertexSet> FlatSplitComponents(const FlatHypergraph& flat,
+                                           const VertexSet& edges_left,
+                                           const VertexSet& chi) {
+  const BitMatrix& inc = flat.incidence_bits();
+  const std::vector<int32_t>& eoff = flat.edge_offsets();
+  const std::vector<int32_t>& everts = flat.edge_vertices();
+  const int stride = inc.stride_words();
+  // The working rows keep their padding zero (UnionRowsInto only ORs
+  // zero-padded rows into them), so every combining step below walks logical
+  // words only — at suite-sized edge universes that is 1 word, not a lane.
+  const int words = inc.logical_words();
+  const int num_edges = flat.num_edges();
+
+  std::vector<VertexSet> parts;
+  FlatScratch& s = Scratch();
+  // unseen starts as edges_left; part/adj are rebuilt per component.
+  ZeroResize(&s.words_b, stride);
+  if (edges_left.word_count() > 0) {
+    std::memcpy(s.words_b.data(), edges_left.word_data(),
+                sizeof(uint64_t) * edges_left.word_count());
+  }
+  uint64_t* unseen = s.words_b.data();
+  ZeroResize(&s.words_a, stride);
+  uint64_t* adj = s.words_a.data();
+
+  // Visit seeds in ascending edge id — the same component order the scalar
+  // path produced via unseen.First().
+  for (int seed = 0; seed < num_edges; ++seed) {
+    if (((unseen[seed >> 6] >> (seed & 63)) & 1) == 0) continue;
+    VertexSet part(num_edges);
+    part.Set(seed);
+    unseen[seed >> 6] &= ~(uint64_t{1} << (seed & 63));
+    s.stack.clear();
+    s.stack.push_back(seed);
+    while (!s.stack.empty()) {
+      const int e = s.stack.back();
+      s.stack.pop_back();
+      // adj = union of incidence rows of e's vertices outside chi, then
+      // restricted to unseen edges.
+      std::memset(adj, 0, sizeof(uint64_t) * static_cast<size_t>(words));
+      s.ids.clear();
+      for (int32_t idx = eoff[e]; idx < eoff[e + 1]; ++idx) {
+        const int32_t v = everts[idx];
+        if (!chi.Test(v)) s.ids.push_back(v);
+      }
+      UnionRowsInto(adj, inc, s.ids.data(), static_cast<int>(s.ids.size()));
+      AndAssign(adj, unseen, words);
+      AndNotAssign(unseen, adj, words);
+      // Fold the newly reached edges into the part and the worklist.
+      for (int w = 0; w < words; ++w) {
+        uint64_t bits = adj[w];
+        while (bits != 0) {
+          const int f = w * 64 + __builtin_ctzll(bits);
+          bits &= bits - 1;
+          part.Set(f);
+          s.stack.push_back(f);
+        }
+      }
+    }
+    // Isolated seeds whose vertices are all inside chi form singleton
+    // components, matching the scalar path (the seed still "hangs off" chi).
+    parts.push_back(std::move(part));
+  }
+  return parts;
+}
+
+}  // namespace kernels
+}  // namespace ghd

@@ -51,6 +51,9 @@ const char* const kCounterNames[kNumCounters] = {
     "interner_misses",
     "separator_neg_hits",
     "separator_neg_inserts",
+    "flat_build_ns",
+    "kernel_batches",
+    "kernel_scalar_fallbacks",
 };
 
 const char* const kGaugeNames[kNumGauges] = {

@@ -79,6 +79,10 @@ enum class Counter : int {
   // Cover-candidate index + negative-separator cache (core/cover_index).
   kSeparatorNegHits,    // guard choices skipped: (component, chi) known to fail
   kSeparatorNegInserts, // proven-failed (component, chi) pairs recorded
+  // Flat CSR view + batch kernels (hypergraph/flat_hypergraph, kernels).
+  kFlatBuildNs,         // nanoseconds spent building FlatHypergraph views
+  kKernelBatches,       // 4-row batches processed by the word-parallel kernels
+  kKernelScalarFallbacks, // batched kernel calls served by the scalar path
   kCounterCount,        // sentinel
 };
 

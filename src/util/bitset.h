@@ -122,6 +122,11 @@ class VertexSet {
   /// Set whose first (at most 64) elements come from the bits of `word0`.
   /// Bits at or above `universe_size` must be zero (checked).
   static VertexSet FromWord(int universe_size, uint64_t word0);
+  /// Set over `universe_size` whose words are copied from `words`
+  /// ((universe_size + 63) / 64 of them). Bits at or above `universe_size`
+  /// must be zero — rows of a kernels::BitMatrix satisfy this by
+  /// construction. The word-array twin of FromWord for the flat CSR kernels.
+  static VertexSet FromWords(int universe_size, const uint64_t* words);
 
   int universe_size() const { return size_; }
 
@@ -190,6 +195,13 @@ class VertexSet {
 
   /// Renders "{a, b, c}" for debugging.
   std::string ToString() const;
+
+  /// Raw word view for the flat CSR/SIMD kernels (hypergraph/kernels.h):
+  /// (universe_size + 63) / 64 little-endian 64-bit words, unused high bits
+  /// zero. The pointer is into this object — it is invalidated by assignment
+  /// and destruction, exactly like a std::vector::data() view.
+  const uint64_t* word_data() const { return words(); }
+  int word_count() const { return num_words_; }
 
   /// Calls fn(i) for each element i in increasing order.
   template <typename Fn>

@@ -1,0 +1,78 @@
+// The SIMD and forced-scalar kernel dispatches must be observationally
+// identical: every decide verdict on the data/ corpus — hypertree width,
+// exact ghw, and the BIP-closure decision — has to agree between the two
+// modes. The kernels are bit-identical by construction; this test pins the
+// whole engine stack on top of them (the CI legs run the full suite under
+// GHD_FORCE_SCALAR=1 as well, but this single test catches a divergence in
+// one ctest run).
+#include <string>
+#include <vector>
+
+#include "core/bip.h"
+#include "core/ghw_exact.h"
+#include "gtest/gtest.h"
+#include "htd/det_k_decomp.h"
+#include "hypergraph/hg_io.h"
+#include "hypergraph/kernels.h"
+
+namespace ghd {
+namespace {
+
+const char* const kCorpus[] = {
+    "acyclic_star.hg", "adder_4.hg", "bridge_3.hg",
+    "example.hg",      "grid3x3.hg", "triangle.hg",
+};
+
+struct Verdicts {
+  int hw = -1;
+  bool hw_exact = false;
+  int ghw_lower = -1;
+  int ghw_upper = -1;
+  bool ghw_exact = false;
+  bool bip2_decided = false;
+  bool bip2_exists = false;
+};
+
+Verdicts Decide(const Hypergraph& h) {
+  Verdicts v;
+  const HypertreeWidthResult hw = HypertreeWidth(h);
+  v.hw = hw.width;
+  v.hw_exact = hw.exact;
+  const ExactGhwResult ghw = ExactGhwComponentwise(h);
+  v.ghw_lower = ghw.lower_bound;
+  v.ghw_upper = ghw.upper_bound;
+  v.ghw_exact = ghw.exact;
+  const KDeciderResult bip = BipGhwDecide(h, 2);
+  v.bip2_decided = bip.decided;
+  v.bip2_exists = bip.exists;
+  return v;
+}
+
+TEST(KernelDispatchTest, VerdictsAgreeBetweenSimdAndScalar) {
+  for (const char* name : kCorpus) {
+    const std::string path = std::string(GHD_DATA_DIR) + "/" + name;
+    Result<Hypergraph> parsed = LoadHg(path);
+    ASSERT_TRUE(parsed.ok()) << path;
+    const Hypergraph& h = parsed.value();
+
+    kernels::ForceScalarKernels(false);
+    const Verdicts native = Decide(h);
+    kernels::ForceScalarKernels(true);
+    const Verdicts scalar = Decide(h);
+    kernels::ForceScalarKernels(false);
+
+    EXPECT_EQ(native.hw, scalar.hw) << name;
+    EXPECT_EQ(native.hw_exact, scalar.hw_exact) << name;
+    EXPECT_EQ(native.ghw_lower, scalar.ghw_lower) << name;
+    EXPECT_EQ(native.ghw_upper, scalar.ghw_upper) << name;
+    EXPECT_EQ(native.ghw_exact, scalar.ghw_exact) << name;
+    EXPECT_EQ(native.bip2_decided, scalar.bip2_decided) << name;
+    EXPECT_EQ(native.bip2_exists, scalar.bip2_exists) << name;
+    // Sanity: tiny corpus instances always decide within default budgets.
+    EXPECT_TRUE(native.hw_exact) << name;
+    EXPECT_TRUE(native.ghw_exact) << name;
+  }
+}
+
+}  // namespace
+}  // namespace ghd

@@ -21,6 +21,9 @@
 //                    the positional seconds budget
 //   --memory-mb N    approximate memory budget for the search caches
 //   --seed N         RNG seed for the randomized heuristics (default 1)
+//   --no-simd        force the portable scalar batch kernels even when the
+//                    CPU supports AVX2 (equivalent to GHD_FORCE_SCALAR=1;
+//                    results are bit-identical, only throughput changes)
 //   --counters       print the engine counter table to stderr after the run
 //   --trace-out=F    write a Chrome trace_event JSON (chrome://tracing,
 //                    Perfetto) of the run's spans, one lane per thread
@@ -55,6 +58,7 @@
 #include "hypergraph/components.h"
 #include "hypergraph/dot_export.h"
 #include "hypergraph/hg_io.h"
+#include "hypergraph/kernels.h"
 #include "hypergraph/stats.h"
 #include "obs/obs.h"
 #include "td/bucket_elimination.h"
@@ -86,7 +90,8 @@ int Usage() {
   std::cerr
       << "usage: ghd_cli <stats|bounds|ghw|anytime|hw|bip|tw|fhw|components|"
          "td|decompose>\n               <file.hg> [budget] [--threads N] "
-         "[--timeout-ms N] [--memory-mb N] [--seed N]\n               "
+         "[--timeout-ms N] [--memory-mb N] [--seed N] [--no-simd]\n"
+         "               "
          "[--counters] [--trace-out=FILE] [--report-out=FILE] [--verbose]\n";
   return kExitUsage;
 }
@@ -154,6 +159,8 @@ int main(int argc, char** argv) {
       // handled in the epilogue
     } else if (arg == "--counters") {
       want_counters = true;
+    } else if (arg == "--no-simd") {
+      kernels::ForceScalarKernels(true);
     } else if (arg == "--verbose") {
       verbose = true;
     } else if (arg.rfind("--", 0) == 0) {
@@ -180,6 +187,8 @@ int main(int argc, char** argv) {
               << " threads=" << num_threads << " seed=" << seed
               << " timeout_ms=" << timeout_ms << " memory_mb=" << memory_mb
               << " budget_arg=" << (args.size() > 2 ? args[2] : "(default)")
+              << " kernel_dispatch="
+              << kernels::KernelDispatchName(kernels::SelectedDispatch())
 #if GHD_OBS_ENABLED
               << " git=" << obs::BuildGitDescribe()
 #endif
@@ -416,6 +425,9 @@ int main(int argc, char** argv) {
                        args.size() > 2 ? args[2] : std::string("default"));
       report.AddConfig("counters", want_counters ? "true" : "false");
       report.AddConfig("trace_out", trace_out);
+      report.AddConfig(
+          "kernel_dispatch",
+          kernels::KernelDispatchName(kernels::SelectedDispatch()));
       report.has_stats = true;
       report.stats = ComputeStats(h);
       report.status = exit_code == kExitDecided    ? "exact"

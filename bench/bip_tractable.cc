@@ -13,6 +13,7 @@
 #include "core/bip.h"
 #include "core/ghw_exact.h"
 #include "gen/random_hypergraphs.h"
+#include "obs/obs.h"
 #include "suite.h"
 #include "util/table.h"
 #include "util/timer.h"
@@ -20,6 +21,9 @@
 int main(int argc, char** argv) {
   using namespace ghd;
   const bool full = bench::WantFull(argc, argv);
+#if GHD_OBS_ENABLED
+  ghd::obs::EnableAttribution(true);  // feeds the v6 "attr_top" extra
+#endif
   std::cout << "E3: ghw <= k decision on BIP(1) instances: closure decider vs\n"
             << "    general exact search (paper: BIP classes are tractable)\n\n";
   const int k = 2;
@@ -34,6 +38,10 @@ int main(int argc, char** argv) {
     long states = 0, dominated = 0;
     int closure_size = 0;
     bool agree = true;
+    std::vector<double> walls;  // per-seed closure + decide wall (v6)
+#if GHD_OBS_ENABLED
+    ghd::obs::ResetAttribution();  // the row's attr_top covers its 3 seeds
+#endif
     for (uint64_t seed = 1; seed <= 3; ++seed) {
       Hypergraph h =
           RandomBoundedIntersectionHypergraph(n, m, 3, 1, seed * 17 + n);
@@ -44,14 +52,17 @@ int main(int argc, char** argv) {
       closure.max_union_arity = k;
       WallTimer t0;
       SubedgeClosureResult generated = BipSubedgeClosure(h, closure);
-      closure_total += t0.ElapsedMillis();
+      const double closure_ms = t0.ElapsedMillis();
+      closure_total += closure_ms;
       closure_size = std::max(closure_size, generated.family.size());
       dominated += generated.dominated_pruned;
       WallTimer t1;
       KDeciderOptions decider;
       decider.num_threads = num_threads;
       KDeciderResult bip = DecideWidthK(h, generated.family, k, decider);
-      decide_total += t1.ElapsedMillis();
+      const double decide_ms = t1.ElapsedMillis();
+      decide_total += decide_ms;
+      walls.push_back(closure_ms + decide_ms);
       states += bip.states_visited;
       WallTimer t2;
       ExactGhwOptions options;
@@ -80,6 +91,15 @@ int main(int argc, char** argv) {
     record.extra.emplace_back("dominated", std::to_string(dominated / 3));
     record.extra.emplace_back("exact_ms", std::to_string(exact_total / 3));
     record.extra.emplace_back("agree", agree ? "true" : "false");
+    // Schema v6: seed-to-seed spread of the BIP pipeline wall, plus where
+    // the row's time went (closure vs decide attribution scopes).
+    record.extra.emplace_back("wall_ms_p50",
+                              std::to_string(bench::Percentile(walls, 0.5)));
+    record.extra.emplace_back("wall_ms_p99",
+                              std::to_string(bench::Percentile(walls, 0.99)));
+#if GHD_OBS_ENABLED
+    record.extra.emplace_back("attr_top", bench::AttrTopJson(3));
+#endif
     records.push_back(std::move(record));
   }
   table.Print(std::cout);

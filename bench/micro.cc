@@ -4,6 +4,9 @@
 // built from.
 #include <benchmark/benchmark.h>
 
+#include <fstream>
+#include <optional>
+
 #include "core/bip.h"
 #include "core/ghw_upper.h"
 #include "core/fractional.h"
@@ -17,6 +20,11 @@
 #include "gen/generators.h"
 #include "gen/random_hypergraphs.h"
 #include "htd/det_k_decomp.h"
+#include "obs/obs.h"
+#if GHD_OBS_ENABLED
+#include "obs/heartbeat.h"
+#include "obs/metrics_sampler.h"
+#endif
 #include "setcover/set_cover.h"
 #include "td/bucket_elimination.h"
 #include "td/lower_bounds.h"
@@ -159,6 +167,50 @@ void BM_DetKDecomp(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DetKDecomp)->Arg(3)->Arg(6);
+
+// Live-introspection overhead pair, pinned by the perf-smoke gate: the same
+// width-k decision with the whole surface armed — counters, progress board,
+// attribution, plus a background sampler and heartbeat at their default
+// cadences writing to a sink — vs everything off (/0). The feature's
+// acceptance bar is a <2% suite-row delta; this pinned pair catches the
+// catastrophic version of a regression (a publish, lock, or snapshot
+// sneaking into the per-state hot path).
+void BM_DeciderIntrospection(benchmark::State& state) {
+  const bool introspect = state.range(0) != 0;
+  const Hypergraph h = AdderHypergraph(6);
+#if GHD_OBS_ENABLED
+  std::ofstream sink("/dev/null");
+  std::optional<obs::MetricsSampler> sampler;
+  std::optional<obs::Heartbeat> heartbeat;
+  if (introspect) {
+    obs::EnableCounters(true);
+    obs::EnableBoard(true);
+    obs::EnableAttribution(true);
+    sampler.emplace();  // default 100ms cadence
+    sampler->Start();
+    obs::Heartbeat::Options options;  // default 1000ms cadence
+    options.out = &sink;
+    heartbeat.emplace(options);
+    heartbeat->Start();
+  }
+#endif
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HypertreeWidthAtMost(h, 2).exists);
+  }
+#if GHD_OBS_ENABLED
+  if (introspect) {
+    heartbeat->Stop();
+    sampler->Stop();
+    obs::EnableAttribution(false);
+    obs::EnableBoard(false);
+    obs::ResetCounters();
+    obs::EnableCounters(false);
+  }
+#else
+  (void)introspect;
+#endif
+}
+BENCHMARK(BM_DeciderIntrospection)->Arg(0)->Arg(1);
 
 void BM_FractionalCover(benchmark::State& state) {
   Hypergraph h = RandomUniformHypergraph(20, 15, 4, 3);

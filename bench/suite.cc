@@ -1,5 +1,7 @@
 #include "suite.h"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -12,6 +14,7 @@
 #include "gen/generators.h"
 #include "gen/random_hypergraphs.h"
 #include "hypergraph/kernels.h"
+#include "obs/obs.h"
 
 namespace ghd {
 namespace bench {
@@ -118,6 +121,34 @@ std::string JsonEscape(const std::string& s) {
 }
 
 }  // namespace
+
+double Percentile(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  const size_t rank = static_cast<size_t>(
+      std::ceil(q * static_cast<double>(samples.size())));
+  return samples[rank == 0 ? 0 : std::min(samples.size(), rank) - 1];
+}
+
+std::string AttrTopJson(size_t limit) {
+#if GHD_OBS_ENABLED
+  const obs::AttributionNode root = obs::SnapshotAttribution();
+  const auto top = obs::TopAttributionNodes(root, limit);
+  std::ostringstream out;
+  out.precision(4);
+  out << std::fixed << '[';
+  for (size_t i = 0; i < top.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << "{\"path\": \"" << JsonEscape(top[i].first)
+        << "\", \"wall_ms\": " << top[i].second * 1000.0 << "}";
+  }
+  out << ']';
+  return out.str();
+#else
+  (void)limit;
+  return "[]";
+#endif
+}
 
 void WriteBenchJson(const std::string& bench_name, bool full,
                     const std::vector<BenchRecord>& records, bool force) {

@@ -59,7 +59,21 @@ struct BenchRecord {
 /// Numbers from different dispatches are different code paths — comparison
 /// tooling must check this field first (tools/perf_smoke.py refuses
 /// cross-dispatch comparisons loudly).
-inline constexpr int kBenchSchemaVersion = 5;
+/// Version 6 added per-record wall-time percentiles over the harness's
+/// repeat loop ("wall_ms_p50" / "wall_ms_p99" extras; the suite harness's
+/// top-level wall_ms is the p50, bip_tractable's stays the per-seed mean)
+/// and the "attr_top" extra: the three heaviest attribution-tree paths of
+/// the record's run as [{"path": .., "wall_ms": ..}, ..] (obs builds only).
+inline constexpr int kBenchSchemaVersion = 6;
+
+/// q-th percentile (0 < q <= 1) of `samples` by the nearest-rank method;
+/// 0 when empty. Backs the v6 per-record wall-time percentiles.
+double Percentile(std::vector<double> samples, double q);
+
+/// The `limit` heaviest attribution paths of the current tree as a JSON
+/// array literal for the "attr_top" extra; "[]" when the build or the
+/// attribution runtime flag is off.
+std::string AttrTopJson(size_t limit);
 
 /// Writes BENCH_<bench_name>.json in the working directory: run metadata
 /// (schema version, bench name, --full flag, hardware thread count) plus

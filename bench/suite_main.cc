@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
   const bool force = bench::WantForce(argc, argv);
 #if GHD_OBS_ENABLED
   ghd::obs::EnableCounters(true);
+  ghd::obs::EnableAttribution(true);  // feeds the v6 "attr_top" extra
 #endif
   const int max_threads = ThreadPool::EffectiveThreads(
       bench::ThreadsArg(argc, argv, /*fallback=*/0));
@@ -38,6 +39,10 @@ int main(int argc, char** argv) {
   // States cap per decision so the table stays interactive; undecided runs
   // are reported as such.
   const long budget = full ? 5000000 : 500000;
+  // Schema v6: each (instance, threads) cell is run `repeats` times and the
+  // record carries the p50/p99 of the walls, so one scheduler hiccup can't
+  // masquerade as a regression in the tracked trajectory.
+  const int repeats = full ? 5 : 3;
 
   std::cout << "suite: parallel width-k decider on the standard families\n"
             << "       (identical widths required at every thread count)\n\n";
@@ -55,12 +60,22 @@ int main(int argc, char** argv) {
       KDeciderOptions options;
       options.state_budget = budget;
       options.num_threads = threads;
+      std::vector<double> walls;
+      walls.reserve(repeats);
+      HypertreeWidthResult r;
+      for (int rep = 0; rep < repeats; ++rep) {
+        // Reset per repeat: the record's counters/attribution describe one
+        // run, not `repeats` of them.
 #if GHD_OBS_ENABLED
-      ghd::obs::ResetCounters();
+        ghd::obs::ResetCounters();
+        ghd::obs::ResetAttribution();
 #endif
-      WallTimer t;
-      HypertreeWidthResult r = HypertreeWidth(h, 0, options);
-      const double ms = t.ElapsedMillis();
+        WallTimer t;
+        r = HypertreeWidth(h, 0, options);
+        walls.push_back(t.ElapsedMillis());
+      }
+      const double ms = bench::Percentile(walls, 0.5);
+      const double p99 = bench::Percentile(walls, 0.99);
       const int width = r.exact ? r.width : -1;  // -1 = budget-undecided
       if (threads == 1) {
         base_ms = ms;
@@ -81,6 +96,15 @@ int main(int argc, char** argv) {
       record.threads = threads;
       record.extra.emplace_back("width", std::to_string(width));
       record.extra.emplace_back("decided", r.exact ? "true" : "false");
+      {
+        std::ostringstream percentiles;
+        percentiles.precision(4);
+        percentiles << std::fixed << ms;
+        record.extra.emplace_back("wall_ms_p50", percentiles.str());
+        percentiles.str("");
+        percentiles << p99;
+        record.extra.emplace_back("wall_ms_p99", percentiles.str());
+      }
 #if GHD_OBS_ENABLED
       const ghd::obs::CounterSnapshot snap = ghd::obs::SnapshotCounters();
       std::string counters_json;
@@ -98,6 +122,8 @@ int main(int argc, char** argv) {
                     static_cast<double>(inline_sets + heap_sets);
         record.extra.emplace_back("inline_set_hit_rate", rate.str());
       }
+      // Schema v6: where the last repeat's wall went (k-ladder rungs).
+      record.extra.emplace_back("attr_top", bench::AttrTopJson(3));
 #endif
       records.push_back(std::move(record));
     }

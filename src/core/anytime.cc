@@ -21,6 +21,10 @@ namespace {
 // result.lower_bound / result.upper_bound.
 void Record(AnytimeGhwResult* result, const char* engine, const Budget& root) {
   GHD_COUNT(kLadderRungs);
+  // The certified interval is the headline number of a live run: publish it
+  // whenever a rung lands so the heartbeat reports the tightened bounds.
+  GHD_BOARD_SET(kBestLb, result->lower_bound);
+  GHD_BOARD_SET(kBestUb, result->upper_bound);
   AnytimeStep step;
   step.engine = engine;
   step.lower_bound = result->lower_bound;
@@ -50,6 +54,8 @@ void Improve(AnytimeGhwResult* result, const Hypergraph& h,
 
 AnytimeGhwResult AnytimeGhw(const Hypergraph& h, const AnytimeOptions& options) {
   AnytimeGhwResult result;
+  GHD_BOARD_PHASE("anytime");
+  GHD_ATTR_SCOPE(attr, "anytime");
 
   Budget local_budget(options.deadline_seconds, options.tick_budget,
                       options.memory_bytes);
@@ -70,6 +76,8 @@ AnytimeGhwResult AnytimeGhw(const Hypergraph& h, const AnytimeOptions& options) 
   // zero-tick budget yields a nontrivial certified interval.
   {
     GHD_SPAN_VAR(span, "anytime", "rung:lower-bound");
+    GHD_BOARD_RUNG("lower-bound");
+    GHD_ATTR_SCOPE(rung_attr, "lower-bound");
     result.lower_bound = std::max(1, GhwLowerBound(h));
     result.upper_bound = h.num_edges();
     Record(&result, "lower-bound", *root);
@@ -80,6 +88,8 @@ AnytimeGhwResult AnytimeGhw(const Hypergraph& h, const AnytimeOptions& options) 
   // validated witness exists from here on.
   {
     GHD_SPAN_VAR(span, "anytime", "rung:greedy-cover");
+    GHD_BOARD_RUNG("greedy-cover");
+    GHD_ATTR_SCOPE(rung_attr, "greedy-cover");
     GhwUpperBoundResult greedy =
         GhwUpperBound(h, OrderingHeuristic::kMinFill, CoverMode::kGreedy);
     Improve(&result, h, std::move(greedy.ghd), greedy.width);
@@ -90,6 +100,8 @@ AnytimeGhwResult AnytimeGhw(const Hypergraph& h, const AnytimeOptions& options) 
   // Rung 3 (tick-free): randomized multi-restart with exact per-bag covers.
   if (options.heuristic_restarts > 0) {
     GHD_SPAN_VAR(span, "anytime", "rung:multi-restart");
+    GHD_BOARD_RUNG("multi-restart");
+    GHD_ATTR_SCOPE(rung_attr, "multi-restart");
     GhwUpperBoundResult multi = GhwUpperBoundMultiRestart(
         h, options.heuristic_restarts, options.seed, CoverMode::kExact);
     Improve(&result, h, std::move(multi.ghd), multi.width);
@@ -113,6 +125,8 @@ AnytimeGhwResult AnytimeGhw(const Hypergraph& h, const AnytimeOptions& options) 
   if (options.use_subset_dp && h.num_vertices() <= kMaxGhwDpVertices &&
       !root->Stopped()) {
     GHD_SPAN_VAR(span, "anytime", "rung:subset-dp");
+    GHD_BOARD_RUNG("subset-dp");
+    GHD_ATTR_SCOPE(rung_attr, "subset-dp");
     dp_width = GhwBySubsetDp(h, options.num_threads, root);
     if (dp_width.has_value()) {
       span.SetArg("width", *dp_width);
@@ -129,6 +143,8 @@ AnytimeGhwResult AnytimeGhw(const Hypergraph& h, const AnytimeOptions& options) 
   // pure tick/memory limits the root governor is shared directly.
   if (!root->Stopped()) {
     GHD_SPAN_VAR(span, "anytime", "rung:exact-bnb");
+    GHD_BOARD_RUNG("exact-bnb");
+    GHD_ATTR_SCOPE(rung_attr, "exact-bnb");
     std::optional<Budget> slice;
     ExactGhwOptions exact_options;
     exact_options.budget = root;
@@ -158,6 +174,8 @@ AnytimeGhwResult AnytimeGhw(const Hypergraph& h, const AnytimeOptions& options) 
   if (options.use_det_k_decomp && result.lower_bound < result.upper_bound &&
       !root->Stopped()) {
     GHD_SPAN_VAR(span, "anytime", "rung:det-k-decomp");
+    GHD_BOARD_RUNG("det-k-decomp");
+    GHD_ATTR_SCOPE(rung_attr, "det-k-decomp");
     KDeciderOptions kd_options;
     kd_options.budget = root;
     kd_options.num_threads = options.num_threads;

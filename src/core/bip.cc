@@ -148,6 +148,8 @@ SubedgeClosureResult BipSubedgeClosure(const Hypergraph& h,
                                        const SubedgeClosureOptions& options) {
   GHD_CHECK(options.max_union_arity >= 1);
   GHD_SPAN_VAR(span, "bip", "subedge-closure");
+  GHD_BOARD_PHASE("subedge-closure");
+  GHD_ATTR_SCOPE(attr, "subedge-closure");
   span.SetArg("edges", h.num_edges());
 
   SubedgeClosureResult result;
@@ -256,6 +258,7 @@ SubedgeClosureResult BipSubedgeClosure(const Hypergraph& h,
   GHD_COUNT_N(kSubedgesGenerated,
               result.family.size() - num_original);
   GHD_GAUGE_MAX(kMaxGuardFamily, result.family.size());
+  GHD_BOARD_SET(kGuardFamily, result.family.size());
   span.SetArg("guards", result.family.size());
   return result;
 }
@@ -322,7 +325,11 @@ KDeciderResult BipGhwDecide(const Hypergraph& h, int k,
   }
 
   const SubedgeClosureResult c = BipSubedgeClosure(h, closure_options);
-  KDeciderResult result = DecideWidthK(h, c.family, k, decider_options);
+  GHD_BOARD_PHASE("bip-decide");
+  KDeciderResult result = [&] {
+    GHD_ATTR_SCOPE(attr, "bip-decide");
+    return DecideWidthK(h, c.family, k, decider_options);
+  }();
   if (!c.complete() && !(result.decided && result.exists)) {
     // A positive over a partial family carries a complete validated witness
     // and stands (truncation may delay an answer, never flip one). A

@@ -100,6 +100,7 @@ std::optional<int> GhwBySubsetDp(const Hypergraph& h, int num_threads,
   for (int c = 1; c <= n; ++c) {
     const std::vector<uint32_t>& layer = layers[c];
     GHD_SPAN_VAR(span, "ghw", "subset-dp-layer");
+    GHD_BOARD_SET(kDpLayer, c);
     span.SetArg("popcount", c);
     span.SetArg("cells", static_cast<long>(layer.size()));
     ParallelFor(

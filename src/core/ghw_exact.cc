@@ -102,6 +102,7 @@ struct Shared {
     std::lock_guard<std::mutex> lock(best_mu);
     if (width < ub.load(std::memory_order_relaxed)) {
       GHD_COUNT(kBnbSolutions);
+      GHD_BOARD_SET(kBestUb, width);
       ub.store(width, std::memory_order_relaxed);
       best_ordering = std::move(ordering);
     }
@@ -143,6 +144,7 @@ struct Search {
   // sharing the incumbent for pruning.
   void Recurse(const Graph& g, int width_so_far, int depth) {
     if (s->ShouldStop()) return;
+    GHD_BOARD_SET(kFrontierDepth, depth);
 
     if (alive_count == 0) {
       if (width_so_far < s->Ub()) AcceptSolution(width_so_far, g);

@@ -142,8 +142,15 @@ struct Decider {
   NegSeparatorCache neg_cache;
 
   bool Tick() {
-    states.fetch_add(1, std::memory_order_relaxed);
+    const long n = states.fetch_add(1, std::memory_order_relaxed) + 1;
     GHD_COUNT(kDeciderStates);
+    // Occupancy publishes for the live board, amortized to every 1024th
+    // state: Size() sweeps the striped shards, too heavy for every tick, and
+    // GHD_BOARD_LAZY skips the sweep entirely while no board is armed.
+    if ((n & 1023) == 0) {
+      GHD_BOARD_LAZY(kMemoStates, pos_memo->Size() + neg_memo.Size());
+      GHD_BOARD_LAZY(kInternerSets, interner->Size());
+    }
     return budget->Tick();
   }
 
@@ -397,6 +404,7 @@ struct Decider {
     GHD_COUNT(kDeciderMemoMisses);
     if (cancel->Cancelled()) return false;
     if (!Tick()) return false;
+    GHD_BOARD_SET(kFrontierDepth, depth);
 
     const VertexSet& comp = interner->Resolve(key.comp_id);
     const VertexSet& conn = interner->Resolve(key.conn_id);
@@ -604,6 +612,8 @@ KDeciderResult DecideWidthK(const Hypergraph& h, const GuardFamily& family,
       decider.SplitComponents(VertexSet::Full(h.num_edges()),
                               VertexSet(h.num_vertices()));
   GHD_GAUGE_MAX(kMaxGuardFamily, family.size());
+  GHD_BOARD_SET(kWidthK, k);
+  GHD_BOARD_SET(kGuardFamily, family.size());
   CancelToken root_scope;  // never fires: the root search runs to completion
   std::vector<StateKey> root_keys;
   bool all_ok = true;

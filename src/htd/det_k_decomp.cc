@@ -1,6 +1,7 @@
 #include "htd/det_k_decomp.h"
 
 #include <algorithm>
+#include <string>
 
 #include "core/ghw_lower.h"
 #include "obs/obs.h"
@@ -32,6 +33,8 @@ HypertreeWidthResult HypertreeWidth(const Hypergraph& h, int max_k,
     GHD_COUNT(kDetKIterations);
     GHD_SPAN_VAR(span, "htd", "det-k-decomp");
     span.SetArg("k", k);
+    GHD_BOARD_SET(kWidthK, k);
+    GHD_ATTR_SCOPE(attr, "k=" + std::to_string(k));
     KDeciderResult r = DecideWidthK(h, family, k, options, &ladder);
     result.states_visited += r.states_visited;
     result.outcome = r.outcome;

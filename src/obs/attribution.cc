@@ -1,0 +1,222 @@
+#include "obs/attribution.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <mutex>
+
+namespace ghd {
+namespace obs {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Stable-index node store: children refer to parents by index so snapshots
+/// never chase pointers invalidated by vector growth.
+struct StoreNode {
+  std::string name;
+  int parent = -1;
+  std::vector<int> children;  // first-visit order
+  double wall_seconds = 0;
+  long visits = 0;
+  std::array<long, kNumCounters> counter_deltas{};
+};
+
+struct Store {
+  std::mutex mutex;
+  std::vector<StoreNode> nodes;
+  Clock::time_point epoch = Clock::now();
+
+  Store() { Reset(); }
+
+  void Reset() {
+    nodes.clear();
+    StoreNode root;
+    root.name = "run";
+    nodes.push_back(std::move(root));
+    epoch = Clock::now();
+  }
+
+  int FindOrCreateChild(int parent, const std::string& name) {
+    for (int child : nodes[parent].children) {
+      if (nodes[child].name == name) return child;
+    }
+    StoreNode node;
+    node.name = name;
+    node.parent = parent;
+    const int index = static_cast<int>(nodes.size());
+    nodes.push_back(std::move(node));
+    nodes[parent].children.push_back(index);
+    return index;
+  }
+};
+
+Store& GlobalStore() {
+  static Store* store = new Store;  // leaked: outlives exiting threads
+  return *store;
+}
+
+// Each thread walks its own path through the shared tree; the cursor is the
+// node its innermost open scope created or re-entered.
+thread_local int t_cursor = 0;
+
+void AppendFixed(std::string* out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6f", v);
+  *out += buf;
+}
+
+void FillSnapshot(const Store& store, int index, double root_wall,
+                  AttributionNode* out) {
+  const StoreNode& node = store.nodes[index];
+  out->name = node.name;
+  out->wall_seconds = index == 0 ? root_wall : node.wall_seconds;
+  out->visits = node.visits;
+  out->ticks =
+      node.counter_deltas[static_cast<int>(Counter::kGovernorTicks)];
+  for (int c = 0; c < kNumCounters; ++c) {
+    if (c == static_cast<int>(Counter::kGovernorTicks)) continue;
+    if (node.counter_deltas[c] == 0) continue;
+    out->counters.emplace_back(CounterName(static_cast<Counter>(c)),
+                               node.counter_deltas[c]);
+  }
+  out->children.resize(node.children.size());
+  for (size_t i = 0; i < node.children.size(); ++i) {
+    FillSnapshot(store, node.children[i], root_wall, &out->children[i]);
+  }
+}
+
+void CollectPaths(const AttributionNode& node, const std::string& prefix,
+                  std::vector<std::pair<std::string, double>>* out) {
+  const std::string path =
+      prefix.empty() ? node.name : prefix + "/" + node.name;
+  out->emplace_back(path, node.wall_seconds);
+  for (const AttributionNode& child : node.children) {
+    CollectPaths(child, path, out);
+  }
+}
+
+}  // namespace
+
+namespace internal {
+std::atomic<bool> g_attr_enabled{false};
+}  // namespace internal
+
+void EnableAttribution(bool on) {
+  Store& store = GlobalStore();
+  if (on) {
+    std::lock_guard<std::mutex> lock(store.mutex);
+    store.Reset();
+  }
+  internal::g_attr_enabled.store(on, std::memory_order_relaxed);
+}
+
+bool AttributionEnabled() {
+  return internal::g_attr_enabled.load(std::memory_order_relaxed);
+}
+
+void ResetAttribution() {
+  Store& store = GlobalStore();
+  std::lock_guard<std::mutex> lock(store.mutex);
+  store.Reset();
+}
+
+ScopedAttribution::ScopedAttribution(const char* name) {
+  if (internal::g_attr_enabled.load(std::memory_order_relaxed)) {
+    Enter(std::string(name));
+  }
+}
+
+ScopedAttribution::ScopedAttribution(const std::string& name) {
+  if (internal::g_attr_enabled.load(std::memory_order_relaxed)) {
+    Enter(name);
+  }
+}
+
+void ScopedAttribution::Enter(const std::string& name) {
+  Store& store = GlobalStore();
+  parent_ = t_cursor;
+  {
+    std::lock_guard<std::mutex> lock(store.mutex);
+    // A cursor from a previous (reset) tree generation may dangle; clamp to
+    // the root rather than indexing out of bounds.
+    if (parent_ >= static_cast<int>(store.nodes.size())) parent_ = 0;
+    node_ = store.FindOrCreateChild(parent_, name);
+    ++store.nodes[node_].visits;
+  }
+  t_cursor = node_;
+  entered_ = Clock::now();
+  at_entry_ = SnapshotCounters();
+  active_ = true;
+}
+
+ScopedAttribution::~ScopedAttribution() {
+  if (!active_) return;
+  const double wall =
+      std::chrono::duration<double>(Clock::now() - entered_).count();
+  const CounterSnapshot at_exit = SnapshotCounters();
+  Store& store = GlobalStore();
+  {
+    std::lock_guard<std::mutex> lock(store.mutex);
+    // The tree may have been reset while this scope was open (e.g. a test
+    // re-arming attribution); drop the sample instead of writing into a
+    // recycled index.
+    if (node_ < static_cast<int>(store.nodes.size()) &&
+        store.nodes[node_].name.size() > 0) {
+      StoreNode& node = store.nodes[node_];
+      node.wall_seconds += wall;
+      for (int c = 0; c < kNumCounters; ++c) {
+        node.counter_deltas[c] += at_exit.counters[c] - at_entry_.counters[c];
+      }
+    }
+  }
+  t_cursor = parent_;
+}
+
+AttributionNode SnapshotAttribution() {
+  Store& store = GlobalStore();
+  std::lock_guard<std::mutex> lock(store.mutex);
+  const double root_wall =
+      std::chrono::duration<double>(Clock::now() - store.epoch).count();
+  AttributionNode root;
+  FillSnapshot(store, 0, root_wall, &root);
+  return root;
+}
+
+void AppendAttributionJson(const AttributionNode& node, std::string* out) {
+  *out += "{\"name\":\"";
+  *out += node.name;
+  *out += "\",\"wall_seconds\":";
+  AppendFixed(out, node.wall_seconds);
+  *out += ",\"ticks\":" + std::to_string(node.ticks);
+  *out += ",\"visits\":" + std::to_string(node.visits);
+  *out += ",\"counters\":{";
+  for (size_t i = 0; i < node.counters.size(); ++i) {
+    if (i > 0) *out += ',';
+    *out += '"';
+    *out += node.counters[i].first;
+    *out += "\":" + std::to_string(node.counters[i].second);
+  }
+  *out += "},\"children\":[";
+  for (size_t i = 0; i < node.children.size(); ++i) {
+    if (i > 0) *out += ',';
+    AppendAttributionJson(node.children[i], out);
+  }
+  *out += "]}";
+}
+
+std::vector<std::pair<std::string, double>> TopAttributionNodes(
+    const AttributionNode& root, size_t limit) {
+  std::vector<std::pair<std::string, double>> rows;
+  for (const AttributionNode& child : root.children) {
+    CollectPaths(child, "", &rows);
+  }
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.second > b.second;
+                   });
+  if (rows.size() > limit) rows.resize(limit);
+  return rows;
+}
+
+}  // namespace obs
+}  // namespace ghd

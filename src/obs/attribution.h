@@ -1,0 +1,100 @@
+// Hierarchical attribution profile: a tree of phase → rung → component nodes
+// accumulating wall time, governor ticks, and counter deltas, so a finished
+// run can answer "closure generation 61%, λ-enumeration 29%" straight from
+// its RunReport without opening a trace viewer.
+//
+// Model: a process-global tree of named nodes plus a thread-local cursor.
+// GHD_ATTR_SCOPE(var, "name") descends into (creating on first visit) the
+// child "name" of the cursor's current node, snapshots the counters, and on
+// scope exit adds the elapsed wall time and counter deltas to that node and
+// pops the cursor. Scopes are coarse (CLI command, anytime rung, k-ladder
+// step, closure phase) — a handful of entries per run, so the find-or-create
+// mutex never sees hot-path traffic.
+//
+// Two accounting caveats, documented in docs/OBSERVABILITY.md:
+//  * counter deltas are process-wide during the scope: with worker threads
+//    running, a node is charged everything that happened anywhere while it
+//    was open (attribution is a wall-clock tree, not a per-thread profile);
+//  * sibling scopes opened concurrently on different threads each charge
+//    their own subtree; their wall times can legitimately sum past the
+//    parent's (the validator only enforces child-sum ≤ parent per thread-
+//    sequential trees, which is how every current engine uses it).
+#ifndef GHD_OBS_ATTRIBUTION_H_
+#define GHD_OBS_ATTRIBUTION_H_
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "obs/counters.h"
+
+namespace ghd {
+namespace obs {
+
+/// Arms or disarms attribution. Enabling clears the tree and stamps the
+/// epoch (the root's wall time runs from here). Disabled (the default),
+/// every scope entry is one relaxed load + branch.
+void EnableAttribution(bool on);
+bool AttributionEnabled();
+
+/// Clears the tree and re-stamps the epoch without changing the flag.
+void ResetAttribution();
+
+/// One node of the exported tree. `wall_seconds` for the root is the time
+/// since EnableAttribution; for every other node it is the sum of its
+/// scopes' durations. `ticks` is the kGovernorTicks delta observed inside
+/// the node's scopes; `counters` lists the other non-zero counter deltas.
+struct AttributionNode {
+  std::string name;
+  double wall_seconds = 0;
+  long ticks = 0;
+  long visits = 0;
+  std::vector<std::pair<std::string, long>> counters;
+  std::vector<AttributionNode> children;
+};
+
+/// Deep copy of the tree, children in first-visit order. The root is named
+/// "run". Safe to call from any thread (takes the tree lock).
+AttributionNode SnapshotAttribution();
+
+/// Appends the tree as JSON: {"name":..,"wall_seconds":..,"ticks":..,
+/// "visits":..,"counters":{..},"children":[..]}. This is RunReport's
+/// `attribution` section.
+void AppendAttributionJson(const AttributionNode& node, std::string* out);
+
+/// Flattened (path, wall_seconds) rows of the heaviest non-root nodes,
+/// deepest-path labels joined with '/', sorted by wall time descending.
+/// bench/suite uses top-3 for the attr_top column.
+std::vector<std::pair<std::string, double>> TopAttributionNodes(
+    const AttributionNode& root, size_t limit);
+
+namespace internal {
+extern std::atomic<bool> g_attr_enabled;
+}  // namespace internal
+
+/// RAII scope; prefer the GHD_ATTR_SCOPE macro at event sites. `name` is
+/// copied, so dynamic labels ("k=3") are fine — unlike spans, scope entry is
+/// not hot-path.
+class ScopedAttribution {
+ public:
+  explicit ScopedAttribution(const char* name);
+  explicit ScopedAttribution(const std::string& name);
+  ~ScopedAttribution();
+
+  ScopedAttribution(const ScopedAttribution&) = delete;
+  ScopedAttribution& operator=(const ScopedAttribution&) = delete;
+
+ private:
+  void Enter(const std::string& name);
+
+  bool active_ = false;
+  int node_ = -1;    // index into the global node store
+  int parent_ = -1;  // cursor to restore on exit
+  std::chrono::steady_clock::time_point entered_{};
+  CounterSnapshot at_entry_;
+};
+
+}  // namespace obs
+}  // namespace ghd
+
+#endif  // GHD_OBS_ATTRIBUTION_H_

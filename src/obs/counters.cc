@@ -54,12 +54,14 @@ const char* const kCounterNames[kNumCounters] = {
     "flat_build_ns",
     "kernel_batches",
     "kernel_scalar_fallbacks",
+    "trace_spans_dropped",
 };
 
 const char* const kGaugeNames[kNumGauges] = {
     "peak_bytes_charged",
     "max_relation_size",
     "max_guard_family",
+    "pool_queue_depth",
 };
 
 const char* const kHistoNames[kNumHistos] = {

@@ -83,6 +83,10 @@ enum class Counter : int {
   kFlatBuildNs,         // nanoseconds spent building FlatHypergraph views
   kKernelBatches,       // 4-row batches processed by the word-parallel kernels
   kKernelScalarFallbacks, // batched kernel calls served by the scalar path
+  // Tracer (obs/trace): spans silently overwritten in the bounded per-thread
+  // rings, so ring overflow is visible in RunReport, not just in the trace
+  // viewer's "(+N dropped)" lane suffix.
+  kTraceSpansDropped,
   kCounterCount,        // sentinel
 };
 
@@ -91,6 +95,7 @@ enum class Gauge : int {
   kPeakBytesCharged = 0,  // high-water of Budget::Charge accounting
   kMaxRelationSize,       // largest intermediate join relation (tuples)
   kMaxGuardFamily,        // largest guard family handed to the decider
+  kPoolQueueDepth,        // peak queued (submitted, not yet popped) pool tasks
   kGaugeCount,            // sentinel
 };
 

@@ -1,0 +1,99 @@
+// Progress heartbeat: a background thread that periodically emits one JSON
+// line describing where the solver is *right now* — current phase and anytime
+// rung from the ProgressBoard, best certified [lb, ub], search frontier
+// depth, memo/interner occupancy, per-second rates derived from successive
+// counter snapshots, and elapsed/budget fractions from the governor.
+//
+// Line schema (stable keys, documented in docs/OBSERVABILITY.md):
+//   {"type":"heartbeat","seq":N,"at_seconds":T,"phase":"...","rung":"...",
+//    "lb":L,"ub":U,"k":K,"frontier_depth":D,"memo_states":M,
+//    "interner_sets":I,"ticks":N,"ticks_per_sec":R,
+//    "memo_inserts_per_sec":R,"kernel_batches_per_sec":R,
+//    "resident_kb":N,"bytes_charged":N,"deadline_fraction":F,
+//    "tick_fraction":F,"memory_fraction":F,"stop_reason":"...","final":B}
+// Board slots never published this run render as -1; budget fractions render
+// as -1 when that limit is unset.
+//
+// Termination contract (satellite: heartbeat vs fault injection): the thread
+// polls Budget::Stopped() every beat, and Stop() always emits exactly one
+// final line with "final":true and the definitive stop_reason — so an exit-3
+// run (deadline, tick budget, injected fault, SIGINT) ends with an honest
+// last line instead of a truncated stream. The first line is emitted
+// immediately at start, so even a run shorter than one interval produces
+// both an opening and a final line.
+//
+// Each line is built into one string and written with a single stream write,
+// so concurrent stderr writers (ladder progress lines) cannot interleave
+// mid-line.
+#ifndef GHD_OBS_HEARTBEAT_H_
+#define GHD_OBS_HEARTBEAT_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+
+#include "obs/counters.h"
+
+namespace ghd {
+
+class Budget;
+
+namespace obs {
+
+/// Namespace-scope (not nested) so the defaulted-argument constructor below
+/// can brace-initialize it inside the class definition.
+struct HeartbeatOptions {
+  int interval_ms = 1000;
+  /// Destination stream; defaults to std::cerr when null. The stream must
+  /// outlive the heartbeat and tolerate writes from the heartbeat thread.
+  std::ostream* out = nullptr;
+  /// Optional budget for elapsed/remaining fractions and the stop_reason of
+  /// the final line. Must outlive the heartbeat.
+  const Budget* budget = nullptr;
+};
+
+class Heartbeat {
+ public:
+  using Options = HeartbeatOptions;
+
+  explicit Heartbeat(Options options = {});
+  ~Heartbeat();  // flushes the final line if Stop() was never called
+
+  Heartbeat(const Heartbeat&) = delete;
+  Heartbeat& operator=(const Heartbeat&) = delete;
+
+  /// Emits the seq-0 line immediately and launches the thread.
+  void Start();
+  /// Joins the thread and emits the final line (exactly once even when the
+  /// thread already emitted it after observing a stopped budget).
+  void Stop();
+  bool Running() const { return running_; }
+
+  size_t lines_emitted() const;
+
+ private:
+  void ThreadMain();
+  /// Builds and writes one line under the emit lock.
+  void EmitLocked(bool final_line);
+
+  Options options_;
+  std::chrono::steady_clock::time_point start_;
+  std::chrono::steady_clock::time_point last_beat_;
+  CounterSnapshot prev_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+  bool running_ = false;
+  bool final_emitted_ = false;
+  size_t seq_ = 0;
+  std::thread thread_;
+};
+
+}  // namespace obs
+}  // namespace ghd
+
+#endif  // GHD_OBS_HEARTBEAT_H_

@@ -1,0 +1,190 @@
+#include "obs/metrics_sampler.h"
+
+#include <cstdio>
+
+namespace ghd {
+namespace obs {
+
+double MetricsSample::Rate(Counter c) const {
+  if (interval_seconds <= 0) return 0;
+  return static_cast<double>(delta(c)) / interval_seconds;
+}
+
+long ResidentMemoryKb() {
+#if defined(__linux__)
+  // statm field 2 is resident pages; multiply by the page size. Reading with
+  // stdio keeps this allocation-light (called from the sampler thread every
+  // interval).
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  long size_pages = 0;
+  long resident_pages = 0;
+  const int got = std::fscanf(f, "%ld %ld", &size_pages, &resident_pages);
+  std::fclose(f);
+  if (got != 2) return 0;
+  // Page size is 4 KiB on every platform this library targets; sysconf would
+  // be exact but is not async-signal-safe and this is an approximation gauge.
+  return resident_pages * 4;
+#else
+  return 0;
+#endif
+}
+
+MetricsSampler::MetricsSampler(Options options) : options_(options) {
+  if (options_.interval_ms < 1) options_.interval_ms = 1;
+  if (options_.ring_capacity < 1) options_.ring_capacity = 1;
+  ring_.reserve(options_.ring_capacity);
+  start_ = std::chrono::steady_clock::now();
+  last_sample_ = start_;
+  prev_ = SnapshotCounters();
+}
+
+MetricsSampler::~MetricsSampler() { Stop(); }
+
+void MetricsSampler::Start() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (running_) return;
+  stop_requested_ = false;
+  running_ = true;
+  thread_ = std::thread(&MetricsSampler::ThreadMain, this);
+}
+
+void MetricsSampler::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!running_) return;
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    running_ = false;
+    // Final frame so the tail of the run is never lost to cadence.
+    SampleLocked(std::chrono::steady_clock::now());
+  }
+}
+
+void MetricsSampler::ThreadMain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stop_requested_) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(options_.interval_ms);
+    if (cv_.wait_until(lock, deadline,
+                       [this] { return stop_requested_; })) {
+      break;
+    }
+    SampleLocked(std::chrono::steady_clock::now());
+  }
+}
+
+void MetricsSampler::SampleNow() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SampleLocked(std::chrono::steady_clock::now());
+}
+
+void MetricsSampler::SampleLocked(std::chrono::steady_clock::time_point now) {
+  const CounterSnapshot current = SnapshotCounters();
+  MetricsSample sample;
+  sample.at_seconds =
+      std::chrono::duration<double>(now - start_).count();
+  sample.interval_seconds =
+      std::chrono::duration<double>(now - last_sample_).count();
+  sample.resident_kb = ResidentMemoryKb();
+  for (int i = 0; i < kNumCounters; ++i) {
+    sample.counter_deltas[i] = current.counters[i] - prev_.counters[i];
+  }
+  sample.gauges = current.gauges;
+  prev_ = current;
+  last_sample_ = now;
+
+  if (ring_.size() < options_.ring_capacity) {
+    ring_.push_back(sample);
+  } else {
+    ring_[ring_head_] = sample;
+    ring_head_ = (ring_head_ + 1) % options_.ring_capacity;
+    ++dropped_;
+  }
+  ++taken_;
+}
+
+std::vector<MetricsSample> MetricsSampler::Samples() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<MetricsSample> out;
+  out.reserve(ring_.size());
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(ring_head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+size_t MetricsSampler::samples_taken() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return taken_;
+}
+
+size_t MetricsSampler::samples_dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+namespace {
+
+void AppendDouble(std::string* out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6f", v);
+  *out += buf;
+}
+
+}  // namespace
+
+std::string MetricsSampler::ToJson() const {
+  const std::vector<MetricsSample> samples = Samples();
+  size_t taken;
+  size_t dropped;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    taken = taken_;
+    dropped = dropped_;
+  }
+  std::string out = "{\"type\":\"metrics\",\"interval_ms\":";
+  out += std::to_string(options_.interval_ms);
+  out += ",\"samples_taken\":" + std::to_string(taken);
+  out += ",\"samples_dropped\":" + std::to_string(dropped);
+  out += ",\"samples\":[";
+  for (size_t i = 0; i < samples.size(); ++i) {
+    const MetricsSample& s = samples[i];
+    if (i > 0) out += ',';
+    out += "{\"at_seconds\":";
+    AppendDouble(&out, s.at_seconds);
+    out += ",\"interval_seconds\":";
+    AppendDouble(&out, s.interval_seconds);
+    out += ",\"resident_kb\":" + std::to_string(s.resident_kb);
+    out += ",\"deltas\":{";
+    bool first = true;
+    for (int c = 0; c < kNumCounters; ++c) {
+      if (s.counter_deltas[c] == 0) continue;
+      if (!first) out += ',';
+      first = false;
+      out += '"';
+      out += CounterName(static_cast<Counter>(c));
+      out += "\":" + std::to_string(s.counter_deltas[c]);
+    }
+    out += "},\"gauges\":{";
+    first = true;
+    for (int g = 0; g < kNumGauges; ++g) {
+      if (s.gauges[g] == 0) continue;
+      if (!first) out += ',';
+      first = false;
+      out += '"';
+      out += GaugeName(static_cast<Gauge>(g));
+      out += "\":" + std::to_string(s.gauges[g]);
+    }
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace ghd

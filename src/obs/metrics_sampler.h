@@ -1,0 +1,117 @@
+// Background metrics sampler: a thread that periodically snapshots the
+// sharded counters/gauges into a bounded ring of timestamped deltas, turning
+// the monotonic totals of obs/counters.h into rate-of-change time-series
+// (memo inserts/sec, governor ticks/sec, kernel batches/sec) plus resident
+// memory read from /proc/self/statm.
+//
+// The hot path pays nothing for a running sampler beyond the relaxed loads it
+// already does for the counters: sampling is pull-only (SnapshotCounters sums
+// the shards from the sampler thread), engines never see the sampler.
+//
+// The ring is bounded: once full, the oldest sample is overwritten and
+// `samples_dropped()` counts the loss — the same honesty contract as the
+// span rings (satellite: trace_spans_dropped).
+//
+// `SampleNow()` is public so tests can drive deterministic sampling without
+// the thread, and so the final flush can capture the end-of-run state.
+#ifndef GHD_OBS_METRICS_SAMPLER_H_
+#define GHD_OBS_METRICS_SAMPLER_H_
+
+#include <array>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/counters.h"
+
+namespace ghd {
+namespace obs {
+
+/// One timestamped delta frame: what changed since the previous sample.
+struct MetricsSample {
+  double at_seconds = 0;        // seconds since sampler start
+  double interval_seconds = 0;  // actual wall gap to the previous sample
+  long resident_kb = 0;         // VmRSS at sample time; 0 when unavailable
+  std::array<long, kNumCounters> counter_deltas{};
+  std::array<long, kNumGauges> gauges{};  // absolute peaks, not deltas
+
+  long delta(Counter c) const {
+    return counter_deltas[static_cast<int>(c)];
+  }
+  /// delta(c) / interval_seconds; 0 for the degenerate first frame.
+  double Rate(Counter c) const;
+};
+
+/// Reads VmRSS in kilobytes from /proc/self/statm; 0 when the file is
+/// unavailable (non-Linux). Exposed for the heartbeat and tests.
+long ResidentMemoryKb();
+
+/// Namespace-scope (not nested) so the defaulted-argument constructor below
+/// can brace-initialize it inside the class definition.
+struct MetricsSamplerOptions {
+  int interval_ms = 100;       // cadence of the background thread
+  size_t ring_capacity = 256;  // bounded sample ring (oldest overwritten)
+};
+
+class MetricsSampler {
+ public:
+  using Options = MetricsSamplerOptions;
+
+  explicit MetricsSampler(Options options = {});
+  ~MetricsSampler();  // stops the thread if still running
+
+  MetricsSampler(const MetricsSampler&) = delete;
+  MetricsSampler& operator=(const MetricsSampler&) = delete;
+
+  /// Launches the background thread. No-op if already running.
+  void Start();
+  /// Takes one final sample, then joins the thread. No-op if not running.
+  void Stop();
+  bool Running() const { return running_; }
+
+  /// Takes one sample immediately (callable with or without the thread;
+  /// serialized against the background thread internally).
+  void SampleNow();
+
+  /// Ring contents, oldest first. Copies under the ring lock.
+  std::vector<MetricsSample> Samples() const;
+
+  size_t samples_taken() const;
+  size_t samples_dropped() const;
+
+  /// Serializes the ring as {"type":"metrics","interval_ms":..,
+  /// "samples_taken":..,"samples_dropped":..,"samples":[{...},...]} with
+  /// non-zero counter deltas keyed by CounterName. Input to tools/obs_top.py
+  /// and the CLI's --metrics-out flag.
+  std::string ToJson() const;
+
+ private:
+  void ThreadMain();
+  void SampleLocked(std::chrono::steady_clock::time_point now);
+
+  Options options_;
+  std::chrono::steady_clock::time_point start_;
+  std::chrono::steady_clock::time_point last_sample_;
+  CounterSnapshot prev_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+  bool running_ = false;
+  std::thread thread_;
+
+  // Bounded ring guarded by mutex_.
+  std::vector<MetricsSample> ring_;
+  size_t ring_head_ = 0;  // index of the oldest sample once full
+  size_t taken_ = 0;
+  size_t dropped_ = 0;
+};
+
+}  // namespace obs
+}  // namespace ghd
+
+#endif  // GHD_OBS_METRICS_SAMPLER_H_

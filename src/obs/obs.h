@@ -29,7 +29,9 @@
 
 #if GHD_OBS_ENABLED
 
+#include "obs/attribution.h"
 #include "obs/counters.h"
+#include "obs/progress_board.h"
 #include "obs/trace.h"
 
 /// Adds 1 (or `n`) to a counter: GHD_COUNT(kBnbNodes).
@@ -46,14 +48,42 @@
 /// to two numeric args emitted with the span. `cat` and `name` (and arg keys)
 /// must be string literals — the tracer stores the pointers, not copies.
 #define GHD_SPAN_VAR(var, cat, name) ::ghd::obs::ScopedSpan var((cat), (name))
+/// Publishes the current phase / anytime rung onto the live progress board;
+/// arguments must be string literals (the board stores the pointers).
+#define GHD_BOARD_PHASE(lit) ::ghd::obs::BoardSetPhase(lit)
+#define GHD_BOARD_RUNG(lit) ::ghd::obs::BoardSetRung(lit)
+/// Publishes a numeric slot: GHD_BOARD_SET(kBestUb, width). The value
+/// expression is always evaluated — use GHD_BOARD_LAZY for expensive ones.
+#define GHD_BOARD_SET(slot, v) \
+  ::ghd::obs::BoardSet(::ghd::obs::BoardSlot::slot, static_cast<long>(v))
+/// Like GHD_BOARD_SET but evaluates `expr` only while the board is armed, so
+/// occupancy probes (memo Size() sweeps) cost nothing in quiet runs.
+#define GHD_BOARD_LAZY(slot, expr)                                   \
+  do {                                                               \
+    if (::ghd::obs::BoardEnabled()) {                                \
+      ::ghd::obs::BoardSet(::ghd::obs::BoardSlot::slot,              \
+                           static_cast<long>(expr));                 \
+    }                                                                \
+  } while (0)
+/// Declares a named RAII attribution scope charging wall time and counter
+/// deltas to the phase → rung → component tree. `name` may be a runtime
+/// string ("k=3"); entry is find-or-create under a lock, so scopes must be
+/// coarse (per rung / per k), never per search node.
+#define GHD_ATTR_SCOPE(var, name) ::ghd::obs::ScopedAttribution var(name)
 
 #else  // !GHD_OBS_ENABLED
 
 namespace ghd {
-/// Stand-in for obs::ScopedSpan in disabled builds. Lives outside the
-/// ghd::obs namespace on purpose: CI greps the binary for ghd::obs symbols.
+/// Stand-ins for obs::ScopedSpan / obs::ScopedAttribution in disabled
+/// builds. They live outside the ghd::obs namespace on purpose: CI greps the
+/// binary for ghd::obs symbols.
 struct ObsNullSpan {
   void SetArg(const char*, long) {}
+};
+struct ObsNullAttr {
+  // User-provided constructor so -Wunused-variable stays quiet on scope
+  // variables that exist only for their (absent) side effects.
+  ObsNullAttr() {}
 };
 }  // namespace ghd
 
@@ -62,6 +92,13 @@ struct ObsNullSpan {
 #define GHD_GAUGE_MAX(g, v) ((void)0)
 #define GHD_HISTO(h, v) ((void)0)
 #define GHD_SPAN_VAR(var, cat, name) ::ghd::ObsNullSpan var
+#define GHD_BOARD_PHASE(lit) ((void)0)
+#define GHD_BOARD_RUNG(lit) ((void)0)
+#define GHD_BOARD_SET(slot, v) ((void)0)
+#define GHD_BOARD_LAZY(slot, expr) ((void)0)
+// The name expression is swallowed unevaluated: dynamic labels ("k=3") cost
+// nothing in disabled builds.
+#define GHD_ATTR_SCOPE(var, name) ::ghd::ObsNullAttr var
 
 #endif  // GHD_OBS_ENABLED
 

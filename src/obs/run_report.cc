@@ -106,6 +106,11 @@ std::string Render(const RunReport& r, const char* nl, const char* indent) {
     r.counters.AppendJson(&out);
   }
 
+  if (r.has_attribution) {
+    key("attribution");
+    out.append(r.attribution_json);
+  }
+
   out.append(nl[0] == '\n' ? "\n}" : "}");
   return out;
 }

@@ -22,7 +22,8 @@ namespace ghd {
 namespace obs {
 
 /// Bump when the JSON layout changes; tools/report_schema.json must match.
-inline constexpr int kRunReportSchemaVersion = 1;
+/// v2: optional `attribution` tree (hierarchical wall/tick/counter profile).
+inline constexpr int kRunReportSchemaVersion = 2;
 
 /// One provenance-trail entry (mirrors core/anytime's AnytimeStep without
 /// depending on it: obs is below core in the layer order).
@@ -69,6 +70,13 @@ struct RunReport {
   // --- engine counters ---
   bool has_counters = false;
   CounterSnapshot counters;
+
+  // --- attribution profile (obs/attribution) ---
+  /// Pre-rendered JSON of the phase → rung → component tree (the output of
+  /// AppendAttributionJson on a SnapshotAttribution). Kept as a string so
+  /// this header stays independent of the attribution types.
+  bool has_attribution = false;
+  std::string attribution_json;
 
   /// Adds one resolved-config entry.
   void AddConfig(std::string key, std::string value) {

@@ -1,6 +1,8 @@
 #include "obs/trace.h"
 
 #include <chrono>
+
+#include "obs/counters.h"
 #include <mutex>
 #include <sstream>
 #include <vector>
@@ -31,6 +33,9 @@ struct Ring {
     events[next] = e;
     next = (next + 1) % capacity;
     ++dropped;
+    // Counted as well as tallied per-ring: RunReport surfaces the total so
+    // silent overwrite is visible without opening the trace.
+    CounterAdd(Counter::kTraceSpansDropped, 1);
   }
 };
 

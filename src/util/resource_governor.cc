@@ -42,8 +42,11 @@ Budget::Budget(double deadline_seconds, long tick_budget, size_t memory_bytes) {
 void Budget::SetDeadlineSeconds(double seconds) {
   has_deadline_ = seconds > 0;
   if (has_deadline_) {
+    deadline_seconds_ = seconds;
     deadline_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
                                    std::chrono::duration<double>(seconds));
+  } else {
+    deadline_seconds_ = 0;
   }
 }
 
@@ -130,6 +133,30 @@ double Budget::RemainingSeconds() const {
   const double left =
       std::chrono::duration<double>(deadline_ - Clock::now()).count();
   return left > 0 ? left : 0;
+}
+
+namespace {
+double ClampFraction(double f) { return f < 0 ? 0 : (f > 1 ? 1 : f); }
+}  // namespace
+
+double Budget::DeadlineFraction() const {
+  if (!has_deadline_ || deadline_seconds_ <= 0) return -1;
+  const double total = deadline_seconds_;
+  const double used =
+      total - std::chrono::duration<double>(deadline_ - Clock::now()).count();
+  return ClampFraction(used / total);
+}
+
+double Budget::TickFraction() const {
+  if (tick_budget_ <= 0) return -1;
+  return ClampFraction(static_cast<double>(ticks_used()) /
+                       static_cast<double>(tick_budget_));
+}
+
+double Budget::MemoryFraction() const {
+  if (memory_budget_ == 0) return -1;
+  return ClampFraction(static_cast<double>(bytes_charged()) /
+                       static_cast<double>(memory_budget_));
 }
 
 Outcome Budget::MakeOutcome() const {

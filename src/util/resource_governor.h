@@ -129,6 +129,13 @@ class Budget {
   /// Seconds until the deadline (clamped at 0); +infinity when unlimited.
   double RemainingSeconds() const;
 
+  /// Budget-consumption fractions in [0, 1] for live surfaces (heartbeat,
+  /// obs_top). -1 when the corresponding limit is not set, so "unlimited"
+  /// stays distinguishable from "barely started".
+  double DeadlineFraction() const;
+  double TickFraction() const;
+  double MemoryFraction() const;
+
   /// Snapshot: complete iff nothing fired yet.
   Outcome MakeOutcome() const;
 
@@ -149,6 +156,7 @@ class Budget {
   Clock::time_point start_ = Clock::now();
   Clock::time_point deadline_{};
   bool has_deadline_ = false;
+  double deadline_seconds_ = 0;
   long tick_budget_ = 0;
   long inject_after_ = 0;
   size_t memory_budget_ = 0;

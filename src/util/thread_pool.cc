@@ -60,6 +60,8 @@ void ThreadPool::Submit(std::function<void()> fn) {
     std::lock_guard<std::mutex> lock(queues_[target]->mu);
     queues_[target]->tasks.push_back(std::move(fn));
   }
+  GHD_GAUGE_MAX(kPoolQueueDepth,
+                queued_.fetch_add(1, std::memory_order_relaxed) + 1);
   idle_cv_.notify_one();
 }
 
@@ -71,6 +73,7 @@ std::function<void()> ThreadPool::NextTask(int self_index) {
     if (!own.tasks.empty()) {
       std::function<void()> fn = std::move(own.tasks.back());
       own.tasks.pop_back();
+      queued_.fetch_sub(1, std::memory_order_relaxed);
       GHD_COUNT(kPoolLocalPops);
       return fn;
     }
@@ -86,6 +89,7 @@ std::function<void()> ThreadPool::NextTask(int self_index) {
     if (!victim.tasks.empty()) {
       std::function<void()> fn = std::move(victim.tasks.front());
       victim.tasks.pop_front();
+      queued_.fetch_sub(1, std::memory_order_relaxed);
       GHD_COUNT(kPoolSteals);
       return fn;
     }

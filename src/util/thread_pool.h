@@ -78,6 +78,9 @@ class ThreadPool {
   std::condition_variable idle_cv_;
   std::atomic<int> next_queue_{0};
   std::atomic<bool> stop_{false};
+  // Submitted-but-not-yet-popped tasks across all deques; feeds the
+  // pool_queue_depth peak gauge (backpressure visibility for the live board).
+  std::atomic<int> queued_{0};
 };
 
 /// Fork-join group of tasks on a pool (or inline when `pool` is null or has

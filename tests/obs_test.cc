@@ -52,6 +52,8 @@ TEST_F(ObsTest, SingleThreadedRunsAreByteIdentical) {
   EXPECT_EQ(ja, jb);  // byte-identical, not just numerically equal
   EXPECT_GT(a.counter(obs::Counter::kDeciderStates), 0);
   EXPECT_EQ(a.counter(obs::Counter::kDeciderMemoPoisoned), 0);
+  // Tracing was off for the whole run, so no span could have been shed.
+  EXPECT_EQ(a.counter(obs::Counter::kTraceSpansDropped), 0);
 }
 
 TEST_F(ObsTest, ParallelRunNeverPoisonsTheMemo) {
@@ -125,6 +127,9 @@ TEST_F(ObsTest, TraceExportIsChromeLoadable) {
     GHD_SPAN_VAR(inner, "test", "inner");
   }
   EXPECT_EQ(obs::TraceEventCount(), 2u);
+  // Two spans into a default-capacity ring: nothing overwritten.
+  EXPECT_EQ(obs::SnapshotCounters().counter(obs::Counter::kTraceSpansDropped),
+            0);
   const std::string json = obs::TraceToJson();
   obs::DisableTracing();
   EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
@@ -150,6 +155,10 @@ TEST_F(ObsTest, RingKeepsOnlyTheMostRecentSpans) {
     span.SetArg("i", i);
   }
   EXPECT_EQ(obs::TraceEventCount(), 4u);
+  // 10 spans through a capacity-4 ring: the 6 overwritten ones are counted,
+  // so a report reader can tell a complete trace from a sheared one.
+  EXPECT_EQ(obs::SnapshotCounters().counter(obs::Counter::kTraceSpansDropped),
+            6);
   const std::string json = obs::TraceToJson();
   obs::DisableTracing();
   EXPECT_NE(json.find("\"i\": 9"), std::string::npos);  // newest retained

@@ -28,7 +28,17 @@
 //   --trace-out=F    write a Chrome trace_event JSON (chrome://tracing,
 //                    Perfetto) of the run's spans, one lane per thread
 //   --report-out=F   write the machine-readable RunReport JSON (schema in
-//                    tools/report_schema.json)
+//                    tools/report_schema.json); includes the hierarchical
+//                    attribution profile (phase -> rung wall/tick shares)
+//   --heartbeat-ms=N emit a progress heartbeat JSON line to stderr every N
+//                    milliseconds (phase, rung, certified [lb,ub], frontier
+//                    depth, memo/interner occupancy, rates, budget
+//                    fractions); the final line carries the stop_reason.
+//                    GHD_HEARTBEAT_MS in the environment sets a default.
+//                    Pipe into tools/obs_top.py for a live dashboard.
+//   --metrics-out=F  write the background sampler's ring of timestamped
+//                    counter deltas (rate-of-change time-series) as JSON
+//   --metrics-interval-ms=N  sampler cadence (default 100)
 //   --verbose        echo the full resolved configuration to stderr
 //
 // The observability flags need a build with GHD_OBS=ON (the default); a
@@ -68,8 +78,12 @@
 #include "util/resource_governor.h"
 
 #if GHD_OBS_ENABLED
+#include "obs/heartbeat.h"
+#include "obs/metrics_sampler.h"
 #include "obs/run_report.h"
 #endif
+
+#include <optional>
 
 namespace {
 
@@ -92,7 +106,9 @@ int Usage() {
          "td|decompose>\n               <file.hg> [budget] [--threads N] "
          "[--timeout-ms N] [--memory-mb N] [--seed N] [--no-simd]\n"
          "               "
-         "[--counters] [--trace-out=FILE] [--report-out=FILE] [--verbose]\n";
+         "[--counters] [--trace-out=FILE] [--report-out=FILE] [--verbose]\n"
+         "               [--heartbeat-ms N] [--metrics-out=FILE] "
+         "[--metrics-interval-ms N]\n";
   return kExitUsage;
 }
 
@@ -114,10 +130,19 @@ int main(int argc, char** argv) {
   long timeout_ms = 0;
   long memory_mb = 0;
   long seed = 1;
+  long heartbeat_ms = 0;
+  long metrics_interval_ms = 100;
   bool want_counters = false;
   bool verbose = false;
   std::string trace_out;
   std::string report_out;
+  std::string metrics_out;
+  // GHD_HEARTBEAT_MS seeds the default so wrappers can turn heartbeats on
+  // without touching the command line; the flag still overrides.
+  if (const char* env = std::getenv("GHD_HEARTBEAT_MS")) {
+    const long v = std::atol(env);
+    if (v > 0) heartbeat_ms = v;
+  }
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -152,10 +177,16 @@ int main(int argc, char** argv) {
       num_threads = static_cast<int>(threads_value);
     } else if (long_flag("--timeout-ms", &timeout_ms) ||
                long_flag("--memory-mb", &memory_mb) ||
-               long_flag("--seed", &seed)) {
-      if (timeout_ms < 0 || memory_mb < 0) return Usage();
+               long_flag("--seed", &seed) ||
+               long_flag("--heartbeat-ms", &heartbeat_ms) ||
+               long_flag("--metrics-interval-ms", &metrics_interval_ms)) {
+      if (timeout_ms < 0 || memory_mb < 0 || heartbeat_ms < 0 ||
+          metrics_interval_ms < 1) {
+        return Usage();
+      }
     } else if (string_flag("--trace-out", &trace_out) ||
-               string_flag("--report-out", &report_out)) {
+               string_flag("--report-out", &report_out) ||
+               string_flag("--metrics-out", &metrics_out)) {
       // handled in the epilogue
     } else if (arg == "--counters") {
       want_counters = true;
@@ -173,12 +204,21 @@ int main(int argc, char** argv) {
   const std::string command = args[0];
 
 #if GHD_OBS_ENABLED
-  if (want_counters || !report_out.empty()) obs::EnableCounters(true);
+  // Heartbeat rates, sampler deltas, and attribution deltas all derive from
+  // the counter snapshots, so any live surface arms the counters too.
+  if (want_counters || !report_out.empty() || heartbeat_ms > 0 ||
+      !metrics_out.empty()) {
+    obs::EnableCounters(true);
+  }
   if (!trace_out.empty()) obs::EnableTracing();
+  if (heartbeat_ms > 0) obs::EnableBoard(true);
+  if (!report_out.empty()) obs::EnableAttribution(true);
 #else
-  if (want_counters || !report_out.empty() || !trace_out.empty()) {
+  if (want_counters || !report_out.empty() || !trace_out.empty() ||
+      heartbeat_ms > 0 || !metrics_out.empty()) {
     std::cerr << "warning: this binary was built with GHD_OBS=OFF; "
-                 "--counters/--trace-out/--report-out are ignored\n";
+                 "--counters/--trace-out/--report-out/--heartbeat-ms/"
+                 "--metrics-out are ignored\n";
   }
 #endif
 
@@ -215,6 +255,27 @@ int main(int argc, char** argv) {
   governor.InjectFailureFromEnv();
   g_budget = &governor;
   std::signal(SIGINT, HandleSigint);
+
+#if GHD_OBS_ENABLED
+  // Live surfaces start before the dispatch so even instant runs emit a
+  // seq-0 heartbeat, and stop right after it so the final heartbeat line and
+  // the sampler's last frame reflect the finished (or truncated) run.
+  std::optional<obs::MetricsSampler> sampler;
+  if (!metrics_out.empty()) {
+    obs::MetricsSampler::Options sampler_options;
+    sampler_options.interval_ms = static_cast<int>(metrics_interval_ms);
+    sampler.emplace(sampler_options);
+    sampler->Start();
+  }
+  std::optional<obs::Heartbeat> heartbeat;
+  if (heartbeat_ms > 0) {
+    obs::Heartbeat::Options heartbeat_options;
+    heartbeat_options.interval_ms = static_cast<int>(heartbeat_ms);
+    heartbeat_options.budget = &governor;
+    heartbeat.emplace(heartbeat_options);
+    heartbeat->Start();
+  }
+#endif
 
   CliRun run;
   auto dispatch = [&]() -> int {
@@ -391,7 +452,34 @@ int main(int argc, char** argv) {
     }
     return Usage();
   };
-  const int exit_code = dispatch();
+  int exit_code;
+  {
+    // Root attribution node for the command; engine scopes nest below it.
+    // The "cmd:" prefix keeps it distinct from same-named engine scopes
+    // (command "anytime" vs the AnytimeGhw driver's own node).
+    GHD_ATTR_SCOPE(command_attr, "cmd:" + command);
+    exit_code = dispatch();
+  }
+
+#if GHD_OBS_ENABLED
+  // Flush the live surfaces first: Stop() emits the stop_reason-bearing
+  // final heartbeat line (the exit-3 honesty contract) and takes the
+  // sampler's last frame before any report is assembled.
+  if (heartbeat.has_value()) heartbeat->Stop();
+  if (sampler.has_value()) {
+    sampler->Stop();
+    std::ofstream out(metrics_out);
+    if (!out) {
+      std::cerr << "error: cannot write metrics to " << metrics_out << "\n";
+      return kExitError;
+    }
+    out << sampler->ToJson() << "\n";
+    if (verbose) {
+      std::cerr << "metrics: " << sampler->samples_taken() << " sample(s) -> "
+                << metrics_out << "\n";
+    }
+  }
+#endif
 
 #if GHD_OBS_ENABLED
   if (!trace_out.empty()) {
@@ -425,6 +513,8 @@ int main(int argc, char** argv) {
                        args.size() > 2 ? args[2] : std::string("default"));
       report.AddConfig("counters", want_counters ? "true" : "false");
       report.AddConfig("trace_out", trace_out);
+      report.AddConfig("heartbeat_ms", std::to_string(heartbeat_ms));
+      report.AddConfig("metrics_out", metrics_out);
       report.AddConfig(
           "kernel_dispatch",
           kernels::KernelDispatchName(kernels::SelectedDispatch()));
@@ -451,6 +541,9 @@ int main(int argc, char** argv) {
       }
       report.has_counters = true;
       report.counters = snapshot;
+      report.has_attribution = true;
+      obs::AppendAttributionJson(obs::SnapshotAttribution(),
+                                 &report.attribution_json);
       std::ofstream out(report_out);
       if (!out) {
         std::cerr << "error: cannot write report to " << report_out << "\n";

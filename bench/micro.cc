@@ -7,6 +7,8 @@
 #include <fstream>
 #include <optional>
 
+#include "cache/cached_solver.h"
+#include "cache/decomp_cache.h"
 #include "core/bip.h"
 #include "core/ghw_upper.h"
 #include "core/fractional.h"
@@ -14,6 +16,7 @@
 #include "csp/csp.h"
 #include "csp/yannakakis.h"
 #include "hypergraph/acyclicity.h"
+#include "hypergraph/canonical.h"
 #include "hypergraph/flat_hypergraph.h"
 #include "hypergraph/kernels.h"
 #include "gen/circuits.h"
@@ -359,6 +362,50 @@ void BM_ScalarCoverCheck(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ScalarCoverCheck)->Arg(128)->Arg(256)->Arg(512);
+
+// Canonical fingerprinting cost (hypergraph/canonical.h) on the cycle, the
+// worst suite family: vertex-transitive, so 1-WL refinement alone never
+// discretizes and every run pays the full individualization-refinement
+// search (~2n nodes). This is the per-instance overhead the decomposition
+// cache charges on every ask, hit or miss; the perf-smoke gate pins /256 so
+// a quadratic slip in refinement or an accidental re-refinement per branch
+// shows up before it erases the repeat-traffic win.
+void BM_Canonicalize(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const Hypergraph h = CycleHypergraph(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Canonicalize(h).key.lo);
+  }
+}
+BENCHMARK(BM_Canonicalize)->Arg(24)->Arg(64)->Arg(256);
+
+// The full warm-hit serving path of the decomposition cache: reduce +
+// canonicalize an isomorphic re-ask, look its key up, rehydrate the cached
+// witness through the inverse permutations, and re-validate it on the
+// concrete instance. This is the numerator of the repeat-traffic >= 50x
+// claim (bench/repeat_traffic.cc measures the ratio end to end); the pin
+// catches a lost cache hit (key instability would send this to a cold
+// solve and blow past the 3x gate) as well as rehydration regressions.
+void BM_CacheHit(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const Hypergraph h = CycleHypergraph(n);
+  DecompCache cache;
+  const PreparedInstance seed = PrepareInstance(h);
+  CachedDecideHw(seed, 2, &cache);  // cold solve populates the entry
+  std::vector<int> vperm(h.num_vertices()), eperm(h.num_edges());
+  for (int v = 0; v < h.num_vertices(); ++v) {
+    vperm[v] = (v + 7) % h.num_vertices();
+  }
+  for (int e = 0; e < h.num_edges(); ++e) eperm[e] = (e + 3) % h.num_edges();
+  const Hypergraph reask = RelabeledHypergraph(h, vperm, eperm);
+  for (auto _ : state) {
+    const PreparedInstance p = PrepareInstance(reask);
+    const CachedDecideResult r = CachedDecideHw(p, 2, &cache);
+    if (!r.from_cache) state.SkipWithError("expected a cache hit");
+    benchmark::DoNotOptimize(r.exists);
+  }
+}
+BENCHMARK(BM_CacheHit)->Arg(64)->Arg(256);
 
 }  // namespace
 }  // namespace ghd

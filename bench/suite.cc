@@ -39,6 +39,13 @@ std::vector<NamedInstance> StandardSuite(bool full) {
   add("rand_u3_30", RandomUniformHypergraph(30, 24, 3, 11));
   add("rand_bip1_30", RandomBoundedIntersectionHypergraph(30, 18, 3, 1, 12));
   add("rand_bdeg2_30", RandomBoundedDegreeHypergraph(30, 18, 3, 2, 13));
+  // Large-universe family (also committed as data/*.hg): >= 128 and >= 256
+  // vertices, so the VertexSet words spill past the inline budget and the
+  // batched SIMD kernels dominate the per-state cost — the sizes where the
+  // avx2/scalar dispatch gap is visible end to end, not just in micro.
+  add("window_160", WindowPathHypergraph(160, 6, 3));
+  add("tristrip_64", TriangleStripHypergraph(64));
+  add("cycle_256", CycleHypergraph(256));
   if (full) {
     add("adder_40", AdderHypergraph(40));
     add("bridge_40", BridgeHypergraph(40));

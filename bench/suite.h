@@ -64,7 +64,11 @@ struct BenchRecord {
 /// top-level wall_ms is the p50, bip_tractable's stays the per-seed mean)
 /// and the "attr_top" extra: the three heaviest attribution-tree paths of
 /// the record's run as [{"path": .., "wall_ms": ..}, ..] (obs builds only).
-inline constexpr int kBenchSchemaVersion = 6;
+/// Version 7 added the per-record "cache_hit_rate" extra (fraction of the
+/// record's asks served from the decomposition cache, cache/decomp_cache.h;
+/// 0 on cache-off records) emitted by the repeat_traffic harness alongside
+/// its cold/warm wall-time ratios.
+inline constexpr int kBenchSchemaVersion = 7;
 
 /// q-th percentile (0 < q <= 1) of `samples` by the nearest-rank method;
 /// 0 when empty. Backs the v6 per-record wall-time percentiles.

@@ -1,0 +1,130 @@
+// Memoized decomposition cache: InstanceKey -> certified width knowledge.
+//
+// The serving contract (DESIGN.md "Decomposition cache") in one paragraph:
+// an entry records only *certified* facts about the canonical instance — a
+// lower bound proved by an exhausted decision procedure, an upper bound
+// carried by a validated witness decomposition — and never the partial state
+// of a truncated run. Lookups therefore can be served without re-deriving
+// anything: decide(hw <= k) is answered yes iff hw_ub <= k (and the witness
+// rehydrates onto the asker's labeling) and no iff hw_lb > k; everything
+// else is a miss that falls through to a solve. This mirrors the memo
+// soundness rule of the k-decider (poisoned entries are never reused): the
+// cache is a second, cross-run memo level keyed by isomorphism class
+// instead of subproblem, with the same never-cache-truncated discipline.
+//
+// Interval entries cross-propagate at merge time: every hypertree
+// decomposition is a generalized one, so hw_ub bounds ghw_ub, and
+// ghw <= hw lifts ghw_lb into hw_lb.
+//
+// Mechanically the cache is sharded (mutex + hash map + intrusive LRU per
+// shard, shard picked by key bits) and byte-budgeted: every entry is charged
+// a wire-format estimate, optionally forwarded into a resource-governor
+// Budget, and least-recently-used entries are evicted when a shard
+// overflows its slice. Save/Load persist the wire format (magic "GHDC");
+// loading merges into the live content so cache files compose.
+#ifndef GHD_CACHE_DECOMP_CACHE_H_
+#define GHD_CACHE_DECOMP_CACHE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hypergraph/canonical.h"
+#include "util/status.h"
+
+namespace ghd {
+
+class Budget;
+class Hypergraph;
+struct GeneralizedHypertreeDecomposition;
+
+/// POD flat wire form of a decomposition, all ids canonical. Offsets arrays
+/// carry a leading 0; node i's bag is bag_vertices[bag_offsets[i] ..
+/// bag_offsets[i+1]), same shape for guards. tree_edges is flattened pairs.
+struct FlatDecomposition {
+  std::vector<int32_t> bag_offsets = {0};
+  std::vector<int32_t> bag_vertices;
+  std::vector<int32_t> guard_offsets = {0};
+  std::vector<int32_t> guard_edges;
+  std::vector<int32_t> tree_edges;
+
+  bool empty() const { return bag_offsets.size() <= 1; }
+  int num_nodes() const { return static_cast<int>(bag_offsets.size()) - 1; }
+  size_t ByteSize() const;
+};
+
+/// Converts to/from the solver decomposition type. Flatten sorts nothing —
+/// the decomposition is stored exactly as produced in canonical id space.
+FlatDecomposition FlattenDecomposition(
+    const GeneralizedHypertreeDecomposition& d);
+GeneralizedHypertreeDecomposition UnflattenDecomposition(
+    const FlatDecomposition& d, int num_vertices);
+
+/// One cached record. Bounds are certified: hw_lb <= hw <= hw_ub (hw_ub < 0
+/// means "no upper bound known"), same for ghw. A witness is present iff the
+/// matching upper bound is set, and witnesses always validate against the
+/// canonical instance they were stored for.
+struct CacheEntry {
+  int32_t hw_lb = 0;
+  int32_t hw_ub = -1;
+  int32_t ghw_lb = 0;
+  int32_t ghw_ub = -1;
+  FlatDecomposition hw_witness;
+  FlatDecomposition ghw_witness;
+
+  size_t ByteSize() const;
+};
+
+class DecompCache {
+ public:
+  struct Options {
+    /// Total byte budget across shards; evictions keep the cache under it.
+    size_t max_bytes = 64u << 20;
+    /// Shard count (rounded up to a power of two).
+    int shards = 16;
+    /// When set, entry bytes are also charged into this governor (and
+    /// released on eviction), so the cache shows up in memory-budget
+    /// accounting like every other allocation pool.
+    Budget* governor = nullptr;
+  };
+
+  DecompCache();
+  explicit DecompCache(Options options);
+  ~DecompCache();
+
+  DecompCache(const DecompCache&) = delete;
+  DecompCache& operator=(const DecompCache&) = delete;
+
+  /// Copies the entry for `key` into *out and marks it most recently used.
+  /// False (and counts a miss) when absent.
+  bool Lookup(const InstanceKey& key, CacheEntry* out);
+
+  /// Merges `entry` into the record for `key`: lower bounds max, upper
+  /// bounds min (witness travels with a tightened bound), then hw/ghw
+  /// cross-propagation. Callers must only pass certified results — never
+  /// bounds from budget-truncated runs.
+  void Merge(const InstanceKey& key, const CacheEntry& entry);
+
+  /// Live totals (approximate under concurrency).
+  size_t size() const;
+  size_t bytes() const;
+
+  /// Persist / restore the wire format. Load merges into current content;
+  /// a malformed file yields ParseError and leaves the cache unchanged
+  /// except for entries already merged.
+  Status Save(const std::string& path) const;
+  Status Load(const std::string& path);
+
+ private:
+  struct Shard;
+  Shard& ShardFor(const InstanceKey& key) const;
+
+  Options options_;
+  size_t per_shard_bytes_;
+  int num_shards_;
+  Shard* shards_;
+};
+
+}  // namespace ghd
+
+#endif  // GHD_CACHE_DECOMP_CACHE_H_

@@ -25,7 +25,13 @@ std::vector<char> SubsumedFlags(const Hypergraph& h) {
 }  // namespace
 
 Hypergraph RemoveSubsumedEdges(const Hypergraph& h) {
+  return RemoveSubsumedEdgesMapped(h).reduced;
+}
+
+ReducedHypergraph RemoveSubsumedEdgesMapped(const Hypergraph& h) {
   const std::vector<char> subsumed = SubsumedFlags(h);
+  const int m = h.num_edges();
+  ReducedHypergraph out;
   std::vector<std::string> vertex_names;
   vertex_names.reserve(h.num_vertices());
   for (int v = 0; v < h.num_vertices(); ++v) {
@@ -33,14 +39,34 @@ Hypergraph RemoveSubsumedEdges(const Hypergraph& h) {
   }
   std::vector<std::string> edge_names;
   std::vector<VertexSet> edges;
-  for (int e = 0; e < h.num_edges(); ++e) {
+  std::vector<int> reduced_id(m, -1);
+  for (int e = 0; e < m; ++e) {
     if (!subsumed[e]) {
+      reduced_id[e] = static_cast<int>(out.kept_edges.size());
+      out.kept_edges.push_back(e);
       edge_names.push_back(h.edge_name(e));
       edges.push_back(h.edge(e));
     }
   }
-  return Hypergraph(std::move(vertex_names), std::move(edge_names),
-                    std::move(edges));
+  out.superset_of.resize(m, -1);
+  for (int e = 0; e < m; ++e) {
+    if (!subsumed[e]) {
+      out.superset_of[e] = reduced_id[e];
+      continue;
+    }
+    // Dropped: point at any surviving superset. One exists — subsumption is
+    // transitive and SubsumedFlags never drops the last member of a
+    // duplicate class.
+    for (int f = 0; f < m; ++f) {
+      if (!subsumed[f] && h.edge(e).IsSubsetOf(h.edge(f))) {
+        out.superset_of[e] = reduced_id[f];
+        break;
+      }
+    }
+  }
+  out.reduced = Hypergraph(std::move(vertex_names), std::move(edge_names),
+                           std::move(edges));
+  return out;
 }
 
 int CountSubsumedEdges(const Hypergraph& h) {

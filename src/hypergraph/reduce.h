@@ -5,13 +5,36 @@
 #ifndef GHD_HYPERGRAPH_REDUCE_H_
 #define GHD_HYPERGRAPH_REDUCE_H_
 
+#include <vector>
+
 #include "hypergraph/hypergraph.h"
 
 namespace ghd {
 
+/// RemoveSubsumedEdgesMapped result: the reduced hypergraph plus the id
+/// mapping needed to translate guard lists between the two edge spaces.
+struct ReducedHypergraph {
+  Hypergraph reduced{{}, {}, {}};
+  /// Reduced edge id -> original edge id (strictly increasing).
+  std::vector<int> kept_edges;
+  /// Original edge id -> reduced edge id of a surviving superset edge (the
+  /// edge itself when kept). Every original guard can be replaced by
+  /// superset_of[guard] without shrinking any cover, and the reverse
+  /// direction (kept_edges) maps reduced witnesses back verbatim — a reduced
+  /// guard's edge exists unchanged in the original instance.
+  std::vector<int> superset_of;
+};
+
 /// Returns h without edges that are subsets of another edge (among duplicate
 /// edges, the lowest id survives). Vertex universe is preserved.
 Hypergraph RemoveSubsumedEdges(const Hypergraph& h);
+
+/// Like RemoveSubsumedEdges but also reports the edge-id correspondence, so
+/// decompositions of the reduced instance can be rehydrated onto the
+/// original one (cache/decomp_cache). ghw / hw / fhw are preserved in both
+/// directions: a dropped edge is a subset of a surviving edge, hence covered
+/// by any bag covering its superset.
+ReducedHypergraph RemoveSubsumedEdgesMapped(const Hypergraph& h);
 
 /// Number of edges RemoveSubsumedEdges would drop.
 int CountSubsumedEdges(const Hypergraph& h);

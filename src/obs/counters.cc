@@ -55,6 +55,12 @@ const char* const kCounterNames[kNumCounters] = {
     "kernel_batches",
     "kernel_scalar_fallbacks",
     "trace_spans_dropped",
+    "canon_nodes",
+    "canon_fallbacks",
+    "cache_hits",
+    "cache_misses",
+    "cache_inserts",
+    "cache_evictions",
 };
 
 const char* const kGaugeNames[kNumGauges] = {
@@ -62,6 +68,7 @@ const char* const kGaugeNames[kNumGauges] = {
     "max_relation_size",
     "max_guard_family",
     "pool_queue_depth",
+    "cache_bytes",
 };
 
 const char* const kHistoNames[kNumHistos] = {

@@ -87,6 +87,15 @@ enum class Counter : int {
   // rings, so ring overflow is visible in RunReport, not just in the trace
   // viewer's "(+N dropped)" lane suffix.
   kTraceSpansDropped,
+  // Canonical fingerprinting (hypergraph/canonical).
+  kCanonNodes,          // individualization-refinement nodes explored
+  kCanonFallbacks,      // canonicalizations truncated by the node budget
+                        // (key degraded to exact-repeat matching)
+  // Memoized decomposition cache (cache/decomp_cache).
+  kCacheHits,           // lookups served from a cached entry
+  kCacheMisses,         // lookups that fell through to a solve
+  kCacheInserts,        // entries inserted or widened
+  kCacheEvictions,      // entries evicted by the LRU byte budget
   kCounterCount,        // sentinel
 };
 
@@ -96,6 +105,7 @@ enum class Gauge : int {
   kMaxRelationSize,       // largest intermediate join relation (tuples)
   kMaxGuardFamily,        // largest guard family handed to the decider
   kPoolQueueDepth,        // peak queued (submitted, not yet popped) pool tasks
+  kCacheBytes,            // peak resident bytes of the decomposition cache
   kGaugeCount,            // sentinel
 };
 

@@ -101,6 +101,7 @@ void Heartbeat::EmitLocked(bool final_line) {
       BoardSlot::kWidthK,       BoardSlot::kFrontierDepth,
       BoardSlot::kMemoStates,   BoardSlot::kInternerSets,
       BoardSlot::kGuardFamily,  BoardSlot::kDpLayer,
+      BoardSlot::kCacheHits,    BoardSlot::kCacheMisses,
   };
   for (BoardSlot slot : kNumericSlots) {
     line += ",\"";

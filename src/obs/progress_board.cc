@@ -13,6 +13,8 @@ const char* const kSlotNames[kNumBoardSlots] = {
     "interner_sets",
     "guard_family",
     "dp_layer",
+    "cache_hits",
+    "cache_misses",
 };
 
 }  // namespace

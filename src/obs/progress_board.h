@@ -33,6 +33,8 @@ enum class BoardSlot : int {
   kInternerSets,    // canonical sets interned so far
   kGuardFamily,     // guard family size (grows during closure generation)
   kDpLayer,         // subset-DP popcount layer being solved
+  kCacheHits,       // decomposition-cache lookups served from memory
+  kCacheMisses,     // decomposition-cache lookups that fell through to solves
   kSlotCount,       // sentinel
 };
 

@@ -13,6 +13,29 @@
 //   ghd_cli components <file.hg>        connected components with stats
 //   ghd_cli td        <file.hg>          min-fill tree decomposition as PACE .td
 //   ghd_cli decompose <file.hg>          best GHD found, as Graphviz DOT
+//   ghd_cli decide-many  <manifest> [k]  batched hw <= k over a manifest of
+//                                        .hg paths: instances are reduced,
+//                                        canonicalized, and deduplicated up
+//                                        front; one solve per isomorphism
+//                                        class, duplicates served from the
+//                                        decomposition cache (default k=2)
+//   ghd_cli anytime-many <manifest>      batched anytime ghw intervals with
+//                                        the same canonicalize/dedup front end
+//
+// Batch flags (decide-many / anytime-many):
+//   --cache-file=F   load the decomposition cache from F before solving (when
+//                    F exists) and save it back after — warm runs of the same
+//                    manifest are then served entirely from cache
+//   --cache-mb=N     cache byte budget in MiB (default 64; LRU eviction past
+//                    it)
+//   --no-cache       disable the cache entirely: every manifest line is
+//                    solved independently (the cold baseline of
+//                    bench/repeat_traffic)
+//   --out=F          write the per-instance results JSON to F as well as
+//                    stdout. The JSON is deterministic — verdicts, widths,
+//                    and keys only, no timings — so a cold and a warm run of
+//                    the same manifest produce byte-identical files (CI's
+//                    cache-smoke asserts exactly that)
 //
 // Global flags:
 //   --threads N      executors for the ghw/hw/decompose searches (1 =
@@ -57,6 +80,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/cached_solver.h"
 #include "core/anytime.h"
 #include "core/bip.h"
 #include "core/ghw_exact.h"
@@ -76,6 +100,7 @@
 #include "td/pace_io.h"
 #include "td/ordering_heuristics.h"
 #include "util/resource_governor.h"
+#include "util/thread_pool.h"
 
 #if GHD_OBS_ENABLED
 #include "obs/heartbeat.h"
@@ -108,7 +133,10 @@ int Usage() {
          "               "
          "[--counters] [--trace-out=FILE] [--report-out=FILE] [--verbose]\n"
          "               [--heartbeat-ms N] [--metrics-out=FILE] "
-         "[--metrics-interval-ms N]\n";
+         "[--metrics-interval-ms N]\n"
+         "       ghd_cli <decide-many|anytime-many> <manifest> [k]\n"
+         "               [--cache-file=FILE] [--cache-mb N] [--no-cache] "
+         "[--out=FILE]\n";
   return kExitUsage;
 }
 
@@ -121,6 +149,191 @@ struct CliRun {
   std::vector<ghd::AnytimeStep> trail;
 };
 
+// ---------------------------------------------------------------------------
+// decide-many / anytime-many: the batched repeat-traffic front end.
+
+struct BatchParams {
+  std::string command;
+  std::string manifest_path;
+  std::string cache_file;
+  std::string out_file;
+  bool use_cache = true;
+  long cache_mb = 64;
+  int k = 2;
+  int num_threads = 1;
+  long seed = 1;
+  ghd::Budget* governor = nullptr;
+};
+
+// Manifest lines are .hg paths, one per line, '%' comments and blanks
+// skipped, relative paths resolved against the manifest's directory.
+bool ReadManifest(const std::string& manifest_path,
+                  std::vector<std::string>* labels,
+                  std::vector<std::string>* paths) {
+  std::ifstream in(manifest_path);
+  if (!in) return false;
+  const size_t slash = manifest_path.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos ? "" : manifest_path.substr(0, slash + 1);
+  std::string line;
+  while (std::getline(in, line)) {
+    const size_t begin = line.find_first_not_of(" \t\r");
+    if (begin == std::string::npos || line[begin] == '%') continue;
+    const size_t end = line.find_last_not_of(" \t\r");
+    const std::string entry = line.substr(begin, end - begin + 1);
+    labels->push_back(entry);
+    paths->push_back(entry[0] == '/' ? entry : dir + entry);
+  }
+  return true;
+}
+
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+int RunBatchCommand(const BatchParams& bp) {
+  using namespace ghd;
+  std::vector<std::string> labels, paths;
+  if (!ReadManifest(bp.manifest_path, &labels, &paths) || paths.empty()) {
+    std::cerr << "error: cannot read manifest (or it is empty): "
+              << bp.manifest_path << "\n";
+    return kExitError;
+  }
+  const int n = static_cast<int>(paths.size());
+
+  // Load + reduce + canonicalize every instance up front (cheap relative to
+  // one solve; see BM_Canonicalize).
+  std::vector<PreparedInstance> prepared;
+  prepared.reserve(n);
+  for (const std::string& path : paths) {
+    Result<Hypergraph> parsed = LoadHg(path);
+    if (!parsed.ok()) {
+      std::cerr << "error: " << parsed.status().ToString() << "\n";
+      return kExitError;
+    }
+    prepared.push_back(PrepareInstance(parsed.value()));
+  }
+
+  std::optional<DecompCache> cache;
+  if (bp.use_cache) {
+    DecompCache::Options copts;
+    copts.max_bytes = static_cast<size_t>(bp.cache_mb) << 20;
+    copts.governor = bp.governor;
+    cache.emplace(copts);
+    if (!bp.cache_file.empty()) {
+      const Status loaded = cache->Load(bp.cache_file);
+      if (!loaded.ok() && loaded.code() != StatusCode::kNotFound) {
+        std::cerr << "warning: ignoring cache file: " << loaded.ToString()
+                  << "\n";
+      }
+    }
+  }
+  DecompCache* cache_ptr = cache.has_value() ? &*cache : nullptr;
+
+  // Deduplicate: one representative per InstanceKey solves; with the cache
+  // on, every other manifest line is served from its entry.
+  std::unordered_map<InstanceKey, int, InstanceKeyHash> first_of;
+  std::vector<int> reps;
+  std::vector<char> is_rep(n, 0);
+  for (int i = 0; i < n; ++i) {
+    if (first_of.emplace(prepared[i].key(), i).second) {
+      reps.push_back(i);
+      is_rep[i] = 1;
+    }
+  }
+
+  ThreadPool pool(bp.num_threads);
+  const bool decide = bp.command == "decide-many";
+  std::vector<CachedDecideResult> decide_results(n);
+  std::vector<CachedAnytimeResult> anytime_results(n);
+  auto solve_one = [&](int i) {
+    if (decide) {
+      KDeciderOptions options;
+      options.budget = bp.governor;
+      options.num_threads = 1;  // parallelism is across instances here
+      decide_results[i] = CachedDecideHw(prepared[i], bp.k, cache_ptr,
+                                         options);
+    } else {
+      AnytimeOptions options;
+      options.budget = bp.governor;
+      options.num_threads = 1;
+      options.seed = static_cast<uint64_t>(bp.seed);
+      anytime_results[i] = CachedAnytimeGhw(prepared[i], options, cache_ptr);
+    }
+  };
+  // Pass 1: unique keys (the only real solves when the cache is armed).
+  ParallelFor(&pool, 0, static_cast<int>(reps.size()),
+              [&](int idx) { solve_one(reps[idx]); });
+  // Pass 2: duplicates — cache hits when armed, independent solves under
+  // --no-cache (the cold baseline the bench compares against).
+  ParallelFor(&pool, 0, n, [&](int i) {
+    if (!is_rep[i]) solve_one(i);
+  });
+
+  // Deterministic results JSON: verdicts, widths, keys — never timings or
+  // hit flags, so cold and warm runs emit byte-identical bytes.
+  std::string json = "[\n";
+  int undecided = 0;
+  long served_from_cache = 0;
+  for (int i = 0; i < n; ++i) {
+    json += "  {\"instance\": ";
+    AppendJsonString(&json, labels[i]);
+    json += ", \"key\": \"" + prepared[i].key().ToHex() + "\"";
+    if (decide) {
+      const CachedDecideResult& r = decide_results[i];
+      json += ", \"k\": " + std::to_string(bp.k);
+      json += std::string(", \"decided\": ") + (r.decided ? "true" : "false");
+      if (r.decided) {
+        json += std::string(", \"exists\": ") + (r.exists ? "true" : "false");
+      }
+      if (r.width >= 0) json += ", \"width\": " + std::to_string(r.width);
+      if (!r.decided) ++undecided;
+      if (r.from_cache) ++served_from_cache;
+    } else {
+      const CachedAnytimeResult& r = anytime_results[i];
+      json += ", \"lb\": " + std::to_string(r.lower_bound);
+      json += ", \"ub\": " + std::to_string(r.upper_bound);
+      json += std::string(", \"exact\": ") + (r.exact ? "true" : "false");
+      if (!r.exact) ++undecided;
+      if (r.from_cache) ++served_from_cache;
+    }
+    json += i + 1 < n ? "},\n" : "}\n";
+  }
+  json += "]\n";
+  std::cout << json;
+  if (!bp.out_file.empty()) {
+    std::ofstream out(bp.out_file);
+    if (!out) {
+      std::cerr << "error: cannot write results to " << bp.out_file << "\n";
+      return kExitError;
+    }
+    out << json;
+  }
+
+  std::cerr << bp.command << ": instances=" << n << " unique_keys="
+            << reps.size() << " duplicates=" << (n - reps.size())
+            << " served_from_cache=" << served_from_cache
+            << " undecided=" << undecided;
+  if (cache_ptr != nullptr) {
+    std::cerr << " cache_entries=" << cache_ptr->size()
+              << " cache_bytes=" << cache_ptr->bytes();
+  }
+  std::cerr << "\n";
+
+  if (cache_ptr != nullptr && !bp.cache_file.empty()) {
+    const Status saved = cache_ptr->Save(bp.cache_file);
+    if (!saved.ok()) {
+      std::cerr << "warning: cache not saved: " << saved.ToString() << "\n";
+    }
+  }
+  return undecided == 0 ? kExitDecided : kExitTruncated;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -132,11 +345,15 @@ int main(int argc, char** argv) {
   long seed = 1;
   long heartbeat_ms = 0;
   long metrics_interval_ms = 100;
+  long cache_mb = 64;
   bool want_counters = false;
   bool verbose = false;
+  bool no_cache = false;
   std::string trace_out;
   std::string report_out;
   std::string metrics_out;
+  std::string cache_file;
+  std::string out_file;
   // GHD_HEARTBEAT_MS seeds the default so wrappers can turn heartbeats on
   // without touching the command line; the flag still overrides.
   if (const char* env = std::getenv("GHD_HEARTBEAT_MS")) {
@@ -179,15 +396,20 @@ int main(int argc, char** argv) {
                long_flag("--memory-mb", &memory_mb) ||
                long_flag("--seed", &seed) ||
                long_flag("--heartbeat-ms", &heartbeat_ms) ||
-               long_flag("--metrics-interval-ms", &metrics_interval_ms)) {
+               long_flag("--metrics-interval-ms", &metrics_interval_ms) ||
+               long_flag("--cache-mb", &cache_mb)) {
       if (timeout_ms < 0 || memory_mb < 0 || heartbeat_ms < 0 ||
-          metrics_interval_ms < 1) {
+          metrics_interval_ms < 1 || cache_mb < 1) {
         return Usage();
       }
     } else if (string_flag("--trace-out", &trace_out) ||
                string_flag("--report-out", &report_out) ||
-               string_flag("--metrics-out", &metrics_out)) {
-      // handled in the epilogue
+               string_flag("--metrics-out", &metrics_out) ||
+               string_flag("--cache-file", &cache_file) ||
+               string_flag("--out", &out_file)) {
+      // handled in the epilogue / batch commands
+    } else if (arg == "--no-cache") {
+      no_cache = true;
     } else if (arg == "--counters") {
       want_counters = true;
     } else if (arg == "--no-simd") {
@@ -235,12 +457,19 @@ int main(int argc, char** argv) {
               << "\n";
   }
 
-  Result<Hypergraph> parsed = LoadHg(args[1]);
-  if (!parsed.ok()) {
-    std::cerr << "error: " << parsed.status().ToString() << "\n";
-    return kExitError;
+  // The batch commands take a manifest of .hg paths instead of one instance;
+  // they load their inputs themselves inside the dispatch.
+  const bool batch_command =
+      command == "decide-many" || command == "anytime-many";
+  Hypergraph h{{}, {}, {}};
+  if (!batch_command) {
+    Result<Hypergraph> parsed = LoadHg(args[1]);
+    if (!parsed.ok()) {
+      std::cerr << "error: " << parsed.status().ToString() << "\n";
+      return kExitError;
+    }
+    h = parsed.value();
   }
-  const Hypergraph& h = parsed.value();
   const double budget_arg = args.size() > 2 ? std::atof(args[2].c_str()) : 30.0;
 
   // One governor for the whole invocation; --timeout-ms overrides the
@@ -435,6 +664,24 @@ int main(int argc, char** argv) {
       }
       return kExitDecided;
     }
+    if (batch_command) {
+      if (deadline_seconds > 0) governor.SetDeadlineSeconds(deadline_seconds);
+      BatchParams bp;
+      bp.command = command;
+      bp.manifest_path = args[1];
+      bp.cache_file = cache_file;
+      bp.out_file = out_file;
+      bp.use_cache = !no_cache;
+      bp.cache_mb = cache_mb;
+      if (command == "decide-many") {
+        bp.k = args.size() > 2 ? std::atoi(args[2].c_str()) : 2;
+        if (bp.k < 1) return Usage();
+      }
+      bp.num_threads = num_threads;
+      bp.seed = seed;
+      bp.governor = &governor;
+      return RunBatchCommand(bp);
+    }
     if (command == "decompose") {
       governor.SetDeadlineSeconds(deadline_seconds > 0 ? deadline_seconds
                                                        : budget_arg);
@@ -518,8 +765,9 @@ int main(int argc, char** argv) {
       report.AddConfig(
           "kernel_dispatch",
           kernels::KernelDispatchName(kernels::SelectedDispatch()));
-      report.has_stats = true;
-      report.stats = ComputeStats(h);
+      // Batch commands have no single instance to profile.
+      report.has_stats = !batch_command;
+      if (report.has_stats) report.stats = ComputeStats(h);
       report.status = exit_code == kExitDecided    ? "exact"
                       : exit_code == kExitTruncated ? "truncated"
                                                     : "error";

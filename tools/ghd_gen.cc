@@ -1,0 +1,56 @@
+// ghd_gen — writes a generated family instance as .hg on stdout, so large
+// suite instances can be committed under data/ instead of rebuilt ad hoc.
+//
+//   ghd_gen window   <num_vertices> <arity> <step>
+//   ghd_gen cycle    <n>
+//   ghd_gen tristrip <k>
+//   ghd_gen grid     <rows> <cols>
+//   ghd_gen clique   <n>
+//
+// The emitted file round-trips through hg_io byte-identically, which is what
+// keeps the committed large-universe instances reviewable diffs.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "gen/generators.h"
+#include "hypergraph/hg_io.h"
+
+namespace {
+
+int Usage() {
+  std::cerr << "usage: ghd_gen <window|cycle|tristrip|grid|clique> "
+               "<params...>\n"
+               "  window <num_vertices> <arity> <step>\n"
+               "  cycle <n>\n  tristrip <k>\n  grid <rows> <cols>\n"
+               "  clique <n>\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ghd;
+  if (argc < 3) return Usage();
+  const std::string family = argv[1];
+  const int a = std::atoi(argv[2]);
+  const int b = argc > 3 ? std::atoi(argv[3]) : 0;
+  const int c = argc > 4 ? std::atoi(argv[4]) : 0;
+  if (a <= 0) return Usage();
+  if (family == "window") {
+    if (b <= 0 || c <= 0) return Usage();
+    std::cout << WriteHg(WindowPathHypergraph(a, b, c));
+  } else if (family == "cycle") {
+    std::cout << WriteHg(CycleHypergraph(a));
+  } else if (family == "tristrip") {
+    std::cout << WriteHg(TriangleStripHypergraph(a));
+  } else if (family == "grid") {
+    if (b <= 0) return Usage();
+    std::cout << WriteHg(Grid2dHypergraph(a, b));
+  } else if (family == "clique") {
+    std::cout << WriteHg(CliqueHypergraph(a));
+  } else {
+    return Usage();
+  }
+  return 0;
+}

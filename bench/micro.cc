@@ -11,6 +11,7 @@
 #include "cache/decomp_cache.h"
 #include "core/bip.h"
 #include "core/ghw_upper.h"
+#include "core/incremental.h"
 #include "core/fractional.h"
 #include "core/k_decider.h"
 #include "csp/csp.h"
@@ -406,6 +407,41 @@ void BM_CacheHit(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CacheHit)->Arg(64)->Arg(256);
+
+// One small-delta round against a warm incremental solver: remove one edge
+// of the n-cycle and re-insert it, two KLadderContext::Rebind sweeps with
+// delta-scoped invalidation (core/incremental.h). This is the per-delta
+// overhead the incremental path charges on every mutation — the denominator
+// of the replay experiment's amortization claim. The pin catches a sweep
+// that degrades to rebuilding the memo wholesale (retention collapsing to
+// zero makes later decides slow but leaves this number alone; a quadratic
+// remap or a per-entry re-canonicalization shows up here directly).
+void BM_DeltaInvalidate(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const Hypergraph base = CycleHypergraph(n);
+  IncrementalSolver solver(base);
+  solver.DecideHw(2);  // bootstrap warms the ladder
+  const VertexSet verts = base.edge(0);
+  const std::string name = base.edge_name(0);
+  for (auto _ : state) {
+    int id = -1;
+    for (int e = 0; e < solver.current().num_edges(); ++e) {
+      if (solver.current().edge_name(e) == name) {
+        id = e;
+        break;
+      }
+    }
+    EdgeDelta remove;
+    remove.removed_edges.push_back(id);
+    solver.Apply(remove);
+    EdgeDelta insert;
+    insert.inserts.push_back({name, verts});
+    solver.Apply(insert);
+    benchmark::DoNotOptimize(solver.version());
+  }
+  if (!solver.warm()) state.SkipWithError("warm ladder was dropped");
+}
+BENCHMARK(BM_DeltaInvalidate)->Arg(256);
 
 }  // namespace
 }  // namespace ghd

@@ -79,8 +79,8 @@ int main(int argc, char** argv) {
   samples.push_back({"tristrip_64", TriangleStripHypergraph(64), 2});
   samples.push_back({"window_160", WindowPathHypergraph(160, 6, 3), 2});
   samples.push_back({"cycle_256", CycleHypergraph(256), 2});
-  std::printf("%-14s %12s %12s %10s\n", "instance", "cold_p50_ms",
-              "warm_p50_ms", "speedup");
+  std::printf("%-14s %12s %12s %12s %12s %10s\n", "instance", "cold_p50_ms",
+              "cold_p99_ms", "warm_p50_ms", "warm_p99_ms", "speedup");
   for (const ServingSample& s : samples) {
     std::vector<double> cold_ms;
     for (int r = 0; r < cold_reps; ++r) {
@@ -111,19 +111,23 @@ int main(int argc, char** argv) {
       hits += res.from_cache ? 1 : 0;
     }
     const double cold_p50 = Percentile(cold_ms, 0.5);
+    const double cold_p99 = Percentile(cold_ms, 0.99);
     const double warm_p50 = Percentile(warm_ms, 0.5);
+    const double warm_p99 = Percentile(warm_ms, 0.99);
     const double speedup = warm_p50 > 0 ? cold_p50 / warm_p50 : 0;
     const double hit_rate =
         static_cast<double>(hits) / static_cast<double>(warm_reps);
-    std::printf("%-14s %12.3f %12.4f %9.1fx\n", s.name.c_str(), cold_p50,
-                warm_p50, speedup);
+    std::printf("%-14s %12.3f %12.3f %12.4f %12.4f %9.1fx\n", s.name.c_str(),
+                cold_p50, cold_p99, warm_p50, warm_p99, speedup);
     BenchRecord rec;
     rec.instance = s.name;
     rec.wall_ms = warm_p50;
     rec.threads = 1;
     rec.extra.push_back({"mode", "\"repeat_serving\""});
     rec.extra.push_back({"cold_ms_p50", std::to_string(cold_p50)});
+    rec.extra.push_back({"cold_ms_p99", std::to_string(cold_p99)});
     rec.extra.push_back({"warm_ms_p50", std::to_string(warm_p50)});
+    rec.extra.push_back({"warm_ms_p99", std::to_string(warm_p99)});
     rec.extra.push_back({"speedup", std::to_string(speedup)});
     rec.extra.push_back({"cache_hit_rate", std::to_string(hit_rate)});
     records.push_back(std::move(rec));

@@ -1,0 +1,234 @@
+// Experiment E13 — incremental re-decomposition over a workload-replay
+// stream (core/incremental.h). A generated trace (gen/workload_trace.h) of
+// mutate + decide events — 80% small single-edge deltas, the rest batched
+// churn — is run twice over each instance:
+//
+//   full:        every decide is a from-scratch DecideWidthK on the current
+//                version (the delta is still applied; only the solve state
+//                is rebuilt per ask). This is the baseline a non-incremental
+//                deployment pays.
+//   incremental: the IncrementalSolver — warm-ladder rebinds with
+//                delta-scoped memo invalidation, DecompCache serving for
+//                isomorphism-class repeats, full bootstrap only when the
+//                dirty region is too large.
+//
+// Both runs must produce byte-identical verdict sequences (the harness
+// aborts otherwise — equivalence is the contract, not a statistic). Reported
+// per instance: per-event latency p50/p99 for both modes, the p50 speedup
+// (acceptance bar: >= 3x on the 80%-small-delta trace), and the retention /
+// serving counters. Records land in BENCH_replay.json (schema v8).
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cache/decomp_cache.h"
+#include "core/incremental.h"
+#include "core/k_decider.h"
+#include "gen/generators.h"
+#include "gen/workload_trace.h"
+#include "suite.h"
+
+namespace ghd {
+namespace bench {
+namespace {
+
+double NowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct ReplayRun {
+  std::vector<double> event_ms;   // every event (mutate and decide)
+  std::vector<double> delta_ms;   // mutate events only
+  std::vector<double> decide_ms;  // decide events only
+  std::string verdicts;           // one char per decide: 'y' / 'n' / 'u'
+};
+
+// Baseline: apply every delta, re-solve every decide from scratch.
+ReplayRun RunFull(const WorkloadTrace& trace) {
+  ReplayRun run;
+  Hypergraph current = trace.base;
+  for (const TraceEvent& ev : trace.events) {
+    const double t0 = NowMs();
+    if (ev.kind == TraceEvent::Kind::kDelta) {
+      EdgeDelta delta;
+      const Status s = ResolveDelta(current, ev, &delta);
+      if (!s.ok()) {
+        std::fprintf(stderr, "trace delta failed: %s\n",
+                     s.ToString().c_str());
+        std::exit(1);
+      }
+      current = ApplyEdgeDelta(current, delta).next;
+      run.delta_ms.push_back(NowMs() - t0);
+    } else {
+      const int k = ev.k > 0 ? ev.k : trace.default_k;
+      const GuardFamily family = OriginalEdgesFamily(current);
+      const KDeciderResult r = DecideWidthK(current, family, k);
+      run.verdicts.push_back(r.decided ? (r.exists ? 'y' : 'n') : 'u');
+      run.decide_ms.push_back(NowMs() - t0);
+    }
+    run.event_ms.push_back(NowMs() - t0);
+  }
+  return run;
+}
+
+ReplayRun RunIncremental(const WorkloadTrace& trace, DecompCache* cache,
+                         IncrementalStats* stats) {
+  ReplayRun run;
+  IncrementalOptions opts;
+  opts.cache = cache;
+  IncrementalSolver solver(trace.base, opts);
+  for (const TraceEvent& ev : trace.events) {
+    const double t0 = NowMs();
+    if (ev.kind == TraceEvent::Kind::kDelta) {
+      EdgeDelta delta;
+      const Status s = ResolveDelta(solver.current(), ev, &delta);
+      if (!s.ok()) {
+        std::fprintf(stderr, "trace delta failed: %s\n",
+                     s.ToString().c_str());
+        std::exit(1);
+      }
+      solver.Apply(delta);
+      run.delta_ms.push_back(NowMs() - t0);
+    } else {
+      const int k = ev.k > 0 ? ev.k : trace.default_k;
+      const IncrementalDecideResult r = solver.DecideHw(k);
+      run.verdicts.push_back(r.decided ? (r.exists ? 'y' : 'n') : 'u');
+      run.decide_ms.push_back(NowMs() - t0);
+    }
+    run.event_ms.push_back(NowMs() - t0);
+  }
+  *stats = solver.stats();
+  return run;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace ghd
+
+int main(int argc, char** argv) {
+  using namespace ghd;
+  using namespace ghd::bench;
+  const bool full = WantFull(argc, argv);
+  const int events = full ? 2000 : 1000;
+
+  // One yes-instance (cycle: hw = 2 survives the mutations) and one
+  // no-instance (grid at k = 2: the decider refutes, so retained *negatives*
+  // carry the incremental win); --full adds a larger grid.
+  struct Target {
+    std::string name;
+    Hypergraph hypergraph;
+    int k;
+  };
+  std::vector<Target> targets;
+  targets.push_back({"cycle_256", CycleHypergraph(256), 2});
+  targets.push_back({"grid2d_6", Grid2dHypergraph(6, 6), 2});
+  if (full) targets.push_back({"grid2d_7", Grid2dHypergraph(7, 7), 2});
+
+  std::vector<BenchRecord> records;
+  std::printf("%-12s %8s %12s %12s %12s %12s %9s  (decide latency)\n",
+              "instance", "events", "full_p50_ms", "full_p99_ms",
+              "incr_p50_ms", "incr_p99_ms", "speedup");
+  for (const Target& t : targets) {
+    TraceGenOptions gopts;
+    gopts.events = events;
+    gopts.seed = 11;
+    gopts.k = t.k;
+    gopts.small_pct = 80;
+    const WorkloadTrace trace = GenerateTrace(t.hypergraph, gopts);
+
+    const ReplayRun base = RunFull(trace);
+    DecompCache cache;
+    IncrementalStats stats;
+    const ReplayRun incr = RunIncremental(trace, &cache, &stats);
+
+    // Equivalence is the contract: a mismatch is a bug, not a data point.
+    if (base.verdicts != incr.verdicts) {
+      std::fprintf(stderr,
+                   "%s: incremental verdicts diverge from scratch!\n"
+                   "  full: %s\n  incr: %s\n",
+                   t.name.c_str(), base.verdicts.c_str(),
+                   incr.verdicts.c_str());
+      return 1;
+    }
+    if (base.verdicts.find('u') != std::string::npos) {
+      std::fprintf(stderr, "%s: undecided verdicts in an unbudgeted run\n",
+                   t.name.c_str());
+      return 1;
+    }
+
+    // The headline compares what a client observes per ask: the p50 over
+    // decide events. Mutate-event and all-event percentiles ride along so
+    // the rebind cost the incremental side pays per delta stays visible.
+    const double full_p50 = Percentile(base.decide_ms, 0.5);
+    const double full_p99 = Percentile(base.decide_ms, 0.99);
+    const double incr_p50 = Percentile(incr.decide_ms, 0.5);
+    const double incr_p99 = Percentile(incr.decide_ms, 0.99);
+    const double speedup = incr_p50 > 0 ? full_p50 / incr_p50 : 0;
+    const long decided = static_cast<long>(base.verdicts.size());
+    const long memo_total = stats.memo_retained + stats.memo_invalidated;
+    const double retention =
+        memo_total > 0
+            ? static_cast<double>(stats.memo_retained) / memo_total
+            : 0.0;
+    std::printf("%-12s %8d %12.4f %12.3f %12.4f %12.3f %8.1fx\n",
+                t.name.c_str(), events, full_p50, full_p99, incr_p50,
+                incr_p99, speedup);
+    {
+      BenchRecord rec;
+      rec.instance = t.name + "_full";
+      rec.wall_ms = full_p50;
+      rec.threads = 1;
+      rec.extra.push_back({"mode", "\"replay_full\""});
+      rec.extra.push_back({"events", std::to_string(events)});
+      rec.extra.push_back({"decides", std::to_string(decided)});
+      rec.extra.push_back({"decide_ms_p50", std::to_string(full_p50)});
+      rec.extra.push_back({"decide_ms_p99", std::to_string(full_p99)});
+      rec.extra.push_back(
+          {"delta_ms_p50", std::to_string(Percentile(base.delta_ms, 0.5))});
+      rec.extra.push_back(
+          {"delta_ms_p99", std::to_string(Percentile(base.delta_ms, 0.99))});
+      rec.extra.push_back(
+          {"event_ms_p50", std::to_string(Percentile(base.event_ms, 0.5))});
+      rec.extra.push_back(
+          {"event_ms_p99", std::to_string(Percentile(base.event_ms, 0.99))});
+      records.push_back(std::move(rec));
+    }
+    {
+      BenchRecord rec;
+      rec.instance = t.name + "_incremental";
+      rec.wall_ms = incr_p50;
+      rec.threads = 1;
+      rec.extra.push_back({"mode", "\"replay_incremental\""});
+      rec.extra.push_back({"events", std::to_string(events)});
+      rec.extra.push_back({"decides", std::to_string(decided)});
+      rec.extra.push_back({"decide_ms_p50", std::to_string(incr_p50)});
+      rec.extra.push_back({"decide_ms_p99", std::to_string(incr_p99)});
+      rec.extra.push_back(
+          {"delta_ms_p50", std::to_string(Percentile(incr.delta_ms, 0.5))});
+      rec.extra.push_back(
+          {"delta_ms_p99", std::to_string(Percentile(incr.delta_ms, 0.99))});
+      rec.extra.push_back(
+          {"event_ms_p50", std::to_string(Percentile(incr.event_ms, 0.5))});
+      rec.extra.push_back(
+          {"event_ms_p99", std::to_string(Percentile(incr.event_ms, 0.99))});
+      rec.extra.push_back({"speedup_p50", std::to_string(speedup)});
+      rec.extra.push_back(
+          {"incremental_solves", std::to_string(stats.incremental_solves)});
+      rec.extra.push_back({"full_solves", std::to_string(stats.full_solves)});
+      rec.extra.push_back(
+          {"cache_served", std::to_string(stats.cache_served)});
+      rec.extra.push_back({"fingerprint_served",
+                           std::to_string(stats.fingerprint_served)});
+      rec.extra.push_back({"memo_retention", std::to_string(retention)});
+      rec.extra.push_back(
+          {"neg_retained", std::to_string(stats.neg_retained)});
+      records.push_back(std::move(rec));
+    }
+  }
+
+  WriteBenchJson("replay", full, records, WantForce(argc, argv));
+  return 0;
+}

@@ -68,7 +68,13 @@ struct BenchRecord {
 /// record's asks served from the decomposition cache, cache/decomp_cache.h;
 /// 0 on cache-off records) emitted by the repeat_traffic harness alongside
 /// its cold/warm wall-time ratios.
-inline constexpr int kBenchSchemaVersion = 7;
+/// Version 8 added the replay harness's per-record event-latency percentiles
+/// ("event_ms_p50" / "event_ms_p99" extras over the per-event mutate+decide
+/// latencies of a workload trace, core/incremental.h) plus its retention
+/// extras ("memo_retention", "incremental_solves", "full_solves",
+/// "cache_served"), and extended repeat_traffic's serving records with
+/// "cold_ms_p99" / "warm_ms_p99" tail percentiles next to the existing p50s.
+inline constexpr int kBenchSchemaVersion = 8;
 
 /// q-th percentile (0 < q <= 1) of `samples` by the nearest-rank method;
 /// 0 when empty. Backs the v6 per-record wall-time percentiles.

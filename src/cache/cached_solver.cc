@@ -1,5 +1,6 @@
 #include "cache/cached_solver.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "util/check.h"
@@ -72,6 +73,52 @@ bool RehydrateWitness(const PreparedInstance& p, const FlatDecomposition& flat,
   // collision / corrupt-file firewall.
   if (!d.Validate(p.original).ok()) return false;
   *out = std::move(d);
+  return true;
+}
+
+bool DehydrateWitness(const PreparedInstance& p,
+                      const GeneralizedHypertreeDecomposition& d,
+                      FlatDecomposition* out) {
+  const int n = p.original.num_vertices();
+  const int m = p.original.num_edges();
+  const int m_reduced = p.reduction.reduced.num_edges();
+  FlatDecomposition flat;
+  for (size_t i = 0; i < d.bags.size(); ++i) {
+    if (d.bags[i].universe_size() != n) return false;
+    // Reduction keeps the vertex universe, so vertex_perm applies directly;
+    // sort so the flat form matches what a canonical-space solve would emit.
+    std::vector<int32_t> bag;
+    d.bags[i].ForEach([&](int v) {
+      bag.push_back(static_cast<int32_t>(p.canon.vertex_perm[v]));
+    });
+    std::sort(bag.begin(), bag.end());
+    flat.bag_vertices.insert(flat.bag_vertices.end(), bag.begin(), bag.end());
+    flat.bag_offsets.push_back(static_cast<int32_t>(flat.bag_vertices.size()));
+    std::vector<int32_t> guard;
+    for (int e : d.guards[i]) {
+      if (e < 0 || e >= m) return false;
+      const int reduced = p.reduction.superset_of[e];
+      if (reduced < 0 || reduced >= m_reduced) return false;
+      guard.push_back(static_cast<int32_t>(p.canon.edge_perm[reduced]));
+    }
+    // A dropped guard and its surviving superset can map to the same edge.
+    std::sort(guard.begin(), guard.end());
+    guard.erase(std::unique(guard.begin(), guard.end()), guard.end());
+    flat.guard_edges.insert(flat.guard_edges.end(), guard.begin(),
+                            guard.end());
+    flat.guard_offsets.push_back(static_cast<int32_t>(flat.guard_edges.size()));
+  }
+  for (const auto& [a, b] : d.tree_edges) {
+    flat.tree_edges.push_back(static_cast<int32_t>(a));
+    flat.tree_edges.push_back(static_cast<int32_t>(b));
+  }
+  // Trust-but-verify in this direction too: the mapped witness must be a
+  // valid decomposition of the canonical instance, or serving it to an
+  // isomorphic re-ask would fail at rehydration time.
+  GeneralizedHypertreeDecomposition check =
+      UnflattenDecomposition(flat, n);
+  if (!check.Validate(CanonicalInstance(p)).ok()) return false;
+  *out = std::move(flat);
   return true;
 }
 

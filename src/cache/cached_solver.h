@@ -54,6 +54,18 @@ Hypergraph CanonicalInstance(const PreparedInstance& p);
 bool RehydrateWitness(const PreparedInstance& p, const FlatDecomposition& flat,
                       GeneralizedHypertreeDecomposition* out);
 
+/// The inverse of RehydrateWitness: maps a witness for p.original into
+/// canonical space so it can be merged into the cache (bags through the
+/// vertex permutation; guards through the subsumed-edge survivor mapping —
+/// a dropped guard is replaced by its surviving superset edge, which only
+/// grows the covering union — then the edge permutation). The mapped witness
+/// is validated on the canonical instance before returning; false means it
+/// did not survive the mapping and must not be cached. Used by the
+/// incremental solver, whose bootstrap solves run in concrete space.
+bool DehydrateWitness(const PreparedInstance& p,
+                      const GeneralizedHypertreeDecomposition& d,
+                      FlatDecomposition* out);
+
 struct CachedDecideResult {
   bool decided = false;
   bool exists = false;

@@ -1,11 +1,14 @@
 #include "cache/decomp_cache.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <list>
 #include <mutex>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "core/ghd.h"
 #include "obs/obs.h"
@@ -323,8 +326,16 @@ Status DecompCache::Load(const std::string& path) {
       version != kWireVersion ||
       std::fread(&count, sizeof count, 1, f) != 1) {
     std::fclose(f);
+    GHD_COUNT(kCacheLoadRejected);
     return Status::ParseError("bad cache header: " + path);
   }
+  // Stage the whole file before merging anything: a truncated or corrupted
+  // file must be rejected whole, never half-applied — a silent partial load
+  // would look exactly like a smaller cache and hide the corruption. The
+  // count field is untrusted, so reservation is capped and truncation is
+  // discovered by the reads themselves.
+  std::vector<std::pair<InstanceKey, CacheEntry>> staged;
+  staged.reserve(static_cast<size_t>(std::min<uint64_t>(count, 4096)));
   for (uint64_t i = 0; i < count; ++i) {
     InstanceKey key;
     CacheEntry e;
@@ -338,11 +349,13 @@ Status DecompCache::Load(const std::string& path) {
         ReadWitness(f, &e.hw_witness) && ReadWitness(f, &e.ghw_witness);
     if (!ok) {
       std::fclose(f);
+      GHD_COUNT(kCacheLoadRejected);
       return Status::ParseError("truncated cache entry in " + path);
     }
-    Merge(key, e);
+    staged.emplace_back(key, std::move(e));
   }
   std::fclose(f);
+  for (auto& [key, e] : staged) Merge(key, e);
   return Status::Ok();
 }
 

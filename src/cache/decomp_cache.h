@@ -109,9 +109,11 @@ class DecompCache {
   size_t size() const;
   size_t bytes() const;
 
-  /// Persist / restore the wire format. Load merges into current content;
-  /// a malformed file yields ParseError and leaves the cache unchanged
-  /// except for entries already merged.
+  /// Persist / restore the wire format. Load merges into current content,
+  /// atomically per file: the whole file is staged and validated before the
+  /// first merge, so a bad-magic / version-mismatched / truncated file
+  /// yields ParseError, bumps the cache_load_rejected counter, and leaves
+  /// the cache exactly as it was — never a silent partial load.
   Status Save(const std::string& path) const;
   Status Load(const std::string& path);
 

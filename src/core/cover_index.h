@@ -96,8 +96,29 @@ class NegSeparatorCache {
     return ((static_cast<uint64_t>(comp_id) << 32) | chi_id) + 1;
   }
 
+  /// Inverse of Key: recovers the interned pair from a resident key.
+  static void Unpack(uint64_t key, uint32_t* comp_id, uint32_t* chi_id) {
+    const uint64_t packed = key - 1;
+    *comp_id = static_cast<uint32_t>(packed >> 32);
+    *chi_id = static_cast<uint32_t>(packed);
+  }
+
   bool Contains(uint64_t key) const;
   void Insert(uint64_t key);
+
+  /// Visits every resident key (nonzero slot). Not synchronized against
+  /// concurrent inserters beyond per-slot atomicity; the rebind sweep of the
+  /// incremental solver calls it while no search is running.
+  template <typename Fn>
+  void ForEachKey(Fn fn) const {
+    const std::atomic<uint64_t>* slots =
+        slots_.load(std::memory_order_acquire);
+    if (slots == nullptr) return;
+    for (size_t i = 0; i <= mask_; ++i) {
+      const uint64_t key = slots[i].load(std::memory_order_relaxed);
+      if (key != 0) fn(key);
+    }
+  }
 
  private:
   size_t SlotOf(uint64_t key) const;

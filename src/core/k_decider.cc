@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <atomic>
 #include <cstring>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -60,9 +62,22 @@ struct StateValue {
   std::vector<StateKey> children;
 };
 
+// Negative search state persisted across same-k calls when a KLadderContext
+// arms PersistNegatives: the key-only refutation memo plus the
+// negative-separator cache. Refutations are k-specific, so a context keeps
+// one store per exact k and a call only ever touches its own k's store —
+// the segregation that keeps cross-k poisoning structurally impossible.
+struct NegativeStore {
+  StripedMap<StateKey, char, StateKeyHash> memo;
+  NegSeparatorCache cache;
+};
+
 // The cross-call share of a k-ladder (see KLadderContext in the header): the
 // interner that issues every state id, the cover-candidate index, and the
 // monotone positive memo. Built once per (h, family), reused by every rung.
+// Rebind (incremental re-decomposition) re-points h/flat/family at the next
+// version and rebuilds the index; the interner is append-only, so ids issued
+// for the old edge universe simply linger as unreferenced garbage.
 struct LadderState {
   LadderState(const Hypergraph& h_in, const GuardFamily& family_in,
               int num_threads)
@@ -72,15 +87,18 @@ struct LadderState {
         // One interner shard when sequential: shard setup is per-search
         // overhead, and without workers there is no contention to spread.
         interner(num_threads > 1 ? 16 : 1),
-        index(h_in, family_in) {}
+        index(std::make_unique<CoverIndex>(h_in, family_in)) {}
 
   const Hypergraph* h;
   const FlatHypergraph* flat;  // h's CSR/bitset-matrix view, shared by rungs
   const GuardFamily* family;
   SetInterner interner;
-  CoverIndex index;
+  std::unique_ptr<CoverIndex> index;  // rebuilt on Rebind
   StripedMap<StateKey, StateValue, StateKeyHash> positive;
   int max_k = 0;  // largest k decided so far; enforces nondecreasing rungs
+  // Per-exact-k negative stores; empty (and unused) until PersistNegatives.
+  bool persist_negatives = false;
+  std::map<int, std::unique_ptr<NegativeStore>> negatives;
 };
 
 }  // namespace internal
@@ -88,6 +106,7 @@ struct LadderState {
 namespace {
 
 using internal::LadderState;
+using internal::NegativeStore;
 using internal::StateKey;
 using internal::StateKeyHash;
 using internal::StateValue;
@@ -134,12 +153,14 @@ struct Decider {
   // both memos and the negative-separator cache key by its ids. Interner and
   // positive memo live in the LadderState (per-call or shared across a
   // k-ladder — they are torn down together, which is what makes the borrowed
-  // ids safe); the negative memo and the separator cache are per-call, since
-  // a refutation at width k says nothing at width k+1.
+  // ids safe). The negative memo and the separator cache default to per-call
+  // scratch instances, since a refutation at width k says nothing at width
+  // k+1; a context with PersistNegatives armed points them at the
+  // LadderState's store for this exact k instead.
   SetInterner* interner = nullptr;
   StripedMap<StateKey, StateValue, StateKeyHash>* pos_memo = nullptr;
-  StripedMap<StateKey, char, StateKeyHash> neg_memo;
-  NegSeparatorCache neg_cache;
+  StripedMap<StateKey, char, StateKeyHash>* neg_memo = nullptr;
+  NegSeparatorCache* neg_cache = nullptr;
 
   bool Tick() {
     const long n = states.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -148,7 +169,7 @@ struct Decider {
     // state: Size() sweeps the striped shards, too heavy for every tick, and
     // GHD_BOARD_LAZY skips the sweep entirely while no board is armed.
     if ((n & 1023) == 0) {
-      GHD_BOARD_LAZY(kMemoStates, pos_memo->Size() + neg_memo.Size());
+      GHD_BOARD_LAZY(kMemoStates, pos_memo->Size() + neg_memo->Size());
       GHD_BOARD_LAZY(kInternerSets, interner->Size());
     }
     return budget->Tick();
@@ -206,13 +227,13 @@ struct Decider {
     if (!conn.IsSubsetOf(chi)) return false;
     const uint32_t chi_id = InternCharged(chi);
     const uint64_t neg_key = NegSeparatorCache::Key(key.comp_id, chi_id);
-    if (neg_cache.Contains(neg_key)) {
+    if (neg_cache->Contains(neg_key)) {
       GHD_COUNT(kSeparatorNegHits);
       return false;
     }
     auto fail_proven = [&] {
       GHD_COUNT(kSeparatorNegInserts);
-      neg_cache.Insert(neg_key);
+      neg_cache->Insert(neg_key);
       return false;
     };
     // Edges of the component fully inside chi are covered here. Subset tests
@@ -390,14 +411,14 @@ struct Decider {
   bool Decide(const StateKey& key, const CancelToken* cancel, int depth) {
     // Positive memo first: a decomposable state stays decomposable at any
     // larger width, so a hit is valid whether the entry came from this call
-    // or from an earlier rung of a shared k-ladder. Negative entries are only
-    // ever this call's own (per-call map), so a hit there is a width-k
-    // refutation by construction.
+    // or from an earlier rung of a shared k-ladder. Negative entries come
+    // from this call or (persistent-negatives mode) an earlier call at the
+    // *same* k, so a hit there is a width-k refutation by construction.
     if (pos_memo->Find(key) != nullptr) {
       GHD_COUNT(kDeciderMemoHits);
       return true;
     }
-    if (neg_memo.Find(key) != nullptr) {
+    if (neg_memo->Find(key) != nullptr) {
       GHD_COUNT(kDeciderMemoHits);
       return false;
     }
@@ -474,7 +495,8 @@ struct Decider {
     pos_memo->Insert(key, std::move(value));
   }
 
-  // Records a proven width-k refutation in the per-call negative map. A
+  // Records a proven width-k refutation in the (per-call or per-exact-k
+  // persistent) negative map. A
   // negative under truncation is refused outright — that would cache an
   // unproven refutation; the refusal counter is the observable invariant
   // (decider_memo_poisoned stays 0 as long as every caller discards
@@ -486,7 +508,7 @@ struct Decider {
     }
     GHD_COUNT(kDeciderMemoInserts);
     budget->Charge(sizeof(StateKey) + 1);
-    neg_memo.Insert(key, 1);
+    neg_memo->Insert(key, 1);
   }
 
   static size_t ApproxBytes(const VertexSet& s) {
@@ -541,6 +563,147 @@ size_t KLadderContext::interned_sets() const {
 
 size_t KLadderContext::positive_states() const {
   return state_->positive.Size();
+}
+
+int KLadderContext::max_k() const { return state_->max_k; }
+
+size_t KLadderContext::negative_states() const {
+  size_t total = 0;
+  for (const auto& [k, store] : state_->negatives) total += store->memo.Size();
+  return total;
+}
+
+void KLadderContext::PersistNegatives() {
+  state_->persist_negatives = true;
+}
+
+RebindStats KLadderContext::Rebind(const Hypergraph& new_h,
+                                   const GuardFamily& new_family,
+                                   const VertexSet& dirty_edges,
+                                   const std::vector<int>& edge_map) {
+  internal::LadderState* s = state_.get();
+  GHD_CHECK(new_h.num_vertices() == s->h->num_vertices());
+  GHD_CHECK(new_family.size() == new_h.num_edges());
+  // Only the original-edges family shape is rebindable: edge_map renumbers
+  // edge ids, and retained lambdas/guard ids are reinterpreted through it.
+  for (int g = 0; g < new_family.size(); ++g) {
+    GHD_CHECK(new_family.parent_edge[g] == g);
+  }
+  RebindStats stats;
+
+  // Component remap, memoized per interned id: clean components (disjoint
+  // from dirty_edges) renumber through edge_map into the new edge universe
+  // and re-intern; dirty ones map to the tombstone and drop every entry that
+  // references them. A clean component's edges all survive (removed edges
+  // are in dirty_edges by construction), so every edge_map read is >= 0.
+  constexpr uint32_t kDirty = 0xffffffffu;
+  std::unordered_map<uint32_t, uint32_t> comp_remap;
+  const int new_m = new_h.num_edges();
+  auto remap_comp = [&](uint32_t comp_id) -> uint32_t {
+    auto it = comp_remap.find(comp_id);
+    if (it != comp_remap.end()) return it->second;
+    const VertexSet& comp = s->interner.Resolve(comp_id);
+    uint32_t mapped = kDirty;
+    if (comp.universe_size() == dirty_edges.universe_size() &&
+        !comp.Intersects(dirty_edges)) {
+      VertexSet renum(new_m);
+      bool ok = true;
+      comp.ForEach([&](int e) {
+        const int ne = edge_map[e];
+        if (ne < 0) {
+          ok = false;
+        } else {
+          renum.Set(ne);
+        }
+      });
+      if (ok) mapped = s->interner.Intern(renum);
+    }
+    comp_remap.emplace(comp_id, mapped);
+    return mapped;
+  };
+
+  // Positive sweep: rebuild the memo keeping only entries whose component
+  // (and, transitively, every child component — children are sub-components
+  // of the parent, so a clean parent has clean children) survives. chi and
+  // the connector live in the unchanged vertex universe; lambda guard ids
+  // renumber through edge_map (guard id == edge id for original-edges
+  // families). A retained entry's guards are never removed edges: a guard
+  // intersects the component's vertices, and a removed edge's vertices are
+  // all dirty, which would have dirtied the component.
+  StripedMap<StateKey, StateValue, StateKeyHash> fresh_pos;
+  s->positive.ForEach([&](const StateKey& key, const StateValue& value) {
+    const uint32_t comp = remap_comp(key.comp_id);
+    if (comp == kDirty) {
+      ++stats.pos_dropped;
+      return;
+    }
+    StateValue moved;
+    moved.chi = value.chi;
+    moved.lambda.reserve(value.lambda.size());
+    bool ok = true;
+    for (int g : value.lambda) {
+      const int ng = edge_map[g];
+      if (ng < 0) {
+        ok = false;
+        break;
+      }
+      moved.lambda.push_back(ng);
+    }
+    if (ok) {
+      moved.children.reserve(value.children.size());
+      for (const StateKey& child : value.children) {
+        const uint32_t child_comp = remap_comp(child.comp_id);
+        if (child_comp == kDirty) {
+          ok = false;
+          break;
+        }
+        moved.children.push_back(StateKey{child_comp, child.conn_id});
+      }
+    }
+    if (!ok) {
+      ++stats.pos_dropped;
+      return;
+    }
+    fresh_pos.Insert(StateKey{comp, key.conn_id}, std::move(moved));
+    ++stats.pos_retained;
+  });
+  s->positive = std::move(fresh_pos);
+
+  // Negative sweep, per exact-k store: same retention test. A retained
+  // refutation stands because its candidate guard set is literally the same
+  // family subset — removed guards would have dirtied the component, and
+  // inserted edges have all-dirty vertices so they never touch a retained
+  // component's vertices.
+  for (auto& [k, store] : s->negatives) {
+    auto fresh = std::make_unique<NegativeStore>();
+    store->memo.ForEach([&](const StateKey& key, const char&) {
+      const uint32_t comp = remap_comp(key.comp_id);
+      if (comp == kDirty) {
+        ++stats.neg_dropped;
+        return;
+      }
+      fresh->memo.Insert(StateKey{comp, key.conn_id}, 1);
+      ++stats.neg_retained;
+    });
+    store->cache.ForEachKey([&](uint64_t packed) {
+      uint32_t comp_id = 0, chi_id = 0;
+      NegSeparatorCache::Unpack(packed, &comp_id, &chi_id);
+      const uint32_t comp = remap_comp(comp_id);
+      if (comp == kDirty) {
+        ++stats.sep_dropped;
+        return;
+      }
+      fresh->cache.Insert(NegSeparatorCache::Key(comp, chi_id));
+      ++stats.sep_retained;
+    });
+    store = std::move(fresh);
+  }
+
+  s->h = &new_h;
+  s->flat = &new_h.Flat();
+  s->family = &new_family;
+  s->index = std::make_unique<CoverIndex>(new_h, new_family);
+  return stats;
 }
 
 KDeciderResult DecideWidthK(const Hypergraph& h, const GuardFamily& family,
@@ -599,13 +762,28 @@ KDeciderResult DecideWidthK(const Hypergraph& h, const GuardFamily& family,
   decider.h = &h;
   decider.flat = state->flat;
   decider.family = &family;
-  decider.index = &state->index;
+  decider.index = state->index.get();
   decider.interner = &state->interner;
   decider.pos_memo = &state->positive;
   decider.k = k;
   decider.options = options;
   decider.pool = pool.get();
   decider.budget = budget;
+
+  // Negative state: per-call scratch by default (a refutation at width k
+  // says nothing at width k+1, and the next call usually has a different k).
+  // A ladder with persistent negatives armed shares the store for exactly
+  // this k across calls — the incremental solver's repeated same-k asks.
+  StripedMap<StateKey, char, StateKeyHash> local_neg;
+  NegSeparatorCache local_sep;
+  decider.neg_memo = &local_neg;
+  decider.neg_cache = &local_sep;
+  if (state->persist_negatives) {
+    std::unique_ptr<NegativeStore>& store = state->negatives[k];
+    if (store == nullptr) store = std::make_unique<NegativeStore>();
+    decider.neg_memo = &store->memo;
+    decider.neg_cache = &store->cache;
+  }
 
   // Root components of all edges with an empty separator.
   std::vector<VertexSet> roots =

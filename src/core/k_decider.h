@@ -84,6 +84,19 @@ namespace internal {
 struct LadderState;  // defined in k_decider.cc
 }
 
+/// Counts from one KLadderContext::Rebind sweep: how many memo entries of
+/// each kind survived the delta and how many were invalidated. "sep" is the
+/// negative-separator cache; it only exists when persistent negatives are
+/// armed.
+struct RebindStats {
+  size_t pos_retained = 0;
+  size_t pos_dropped = 0;
+  size_t neg_retained = 0;
+  size_t neg_dropped = 0;
+  size_t sep_retained = 0;
+  size_t sep_dropped = 0;
+};
+
 /// Shared, reusable search state for a *k-ladder*: a sequence of DecideWidthK
 /// calls over the same hypergraph and guard family with nondecreasing k (the
 /// hw iteration, GhwViaFullClosure, the anytime det-k rung). Three structures
@@ -119,6 +132,40 @@ class KLadderContext {
   size_t interned_sets() const;
   /// Positive states carried across rungs so far (stats/tests).
   size_t positive_states() const;
+  /// Largest k decided through this context so far (0 before the first call).
+  int max_k() const;
+  /// Negative states currently persisted across calls (0 unless
+  /// PersistNegatives was armed; stats/tests).
+  size_t negative_states() const;
+
+  /// Arms per-k persistent negative stores: each DecideWidthK call through
+  /// this context reads and extends a negative memo + negative-separator
+  /// cache keyed by its *exact* k, instead of per-call scratch structures. A
+  /// refutation at width k is a property of (h, family, k) alone, so reusing
+  /// it in a later call at the same k is sound — the cross-k reuse that the
+  /// decider_memo_poisoned sentinel forbids never happens because the stores
+  /// are segregated by k. This is what makes repeated same-k asks (the
+  /// incremental solver's workload) profitable on no-instances.
+  void PersistNegatives();
+
+  /// Re-targets the context at a mutated version of its hypergraph, keeping
+  /// every memo entry whose component avoids the delta's dirty region and
+  /// dropping the rest. Soundness (see core/incremental.h for the full
+  /// argument): `dirty_edges` is a bitset over the *old* edge universe that
+  /// contains every removed edge and every edge touching a dirty vertex; a
+  /// state whose component avoids it has clean component vertices, hence an
+  /// unchanged candidate guard set, hence the same decision — positive
+  /// witnesses and same-k refutations both carry over with edge ids
+  /// renumbered through `edge_map` (old id -> new id, -1 when removed).
+  ///
+  /// Requirements: `new_h` has the same vertex universe; `new_family` is the
+  /// original-edges family of `new_h` (guard ids == edge ids — the only
+  /// family shape whose guards `edge_map` can renumber); both outlive the
+  /// context. Subsequent DecideWidthK calls must pass exactly (`new_h`,
+  /// `new_family`).
+  RebindStats Rebind(const Hypergraph& new_h, const GuardFamily& new_family,
+                     const VertexSet& dirty_edges,
+                     const std::vector<int>& edge_map);
 
  private:
   friend KDeciderResult DecideWidthK(const Hypergraph& h,

@@ -1,0 +1,90 @@
+// Workload traces for the incremental re-decomposition engine: a base
+// hypergraph plus a stream of mutate / decide events, the traffic shape the
+// bench/replay harness and the ghd_cli `replay` command consume.
+//
+// Text format (".trace"), line oriented, '%' comments:
+//
+//   ghdtrace 1
+//   k 2
+//   base-begin
+//   <.hg lines of the base hypergraph>
+//   base-end
+//   remove e17
+//   decide
+//   insert e17 v3 v4
+//   decide
+//   batch 3
+//   remove e2
+//   remove e9
+//   insert d0 v1 v8
+//   decide 3
+//
+// Mutations reference edges by *name* and vertices by name (the vertex
+// universe is fixed to the base's); `batch N` groups the next N mutation
+// lines into one delta. `decide` asks hw <= k with the header's default k
+// unless overridden inline. Names keep the trace valid across versions —
+// edge ids shift as deltas compact the edge list, names do not.
+#ifndef GHD_GEN_WORKLOAD_TRACE_H_
+#define GHD_GEN_WORKLOAD_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hypergraph/hypergraph.h"
+#include "util/status.h"
+
+namespace ghd {
+
+struct TraceMutation {
+  bool is_insert = false;
+  std::string edge_name;
+  std::vector<std::string> vertices;  // insert only; names from the base
+};
+
+struct TraceEvent {
+  enum class Kind { kDelta, kDecide };
+  Kind kind = Kind::kDecide;
+  std::vector<TraceMutation> mutations;  // kDelta
+  int k = 0;                             // kDecide; 0 = the trace default
+};
+
+struct WorkloadTrace {
+  Hypergraph base{{}, {}, {}};
+  int default_k = 2;
+  std::vector<TraceEvent> events;
+};
+
+/// Renders the text format above (round-trips through ParseTrace).
+std::string WriteTrace(const WorkloadTrace& trace);
+
+Result<WorkloadTrace> ParseTrace(const std::string& content);
+Result<WorkloadTrace> LoadTrace(const std::string& path);
+
+/// Resolves one kDelta event against the current version: edge names to
+/// current ids for removals, vertex names to ids for inserts. Fails when a
+/// removed edge name is absent or an inserted edge references an unknown
+/// vertex (the universe is fixed).
+Status ResolveDelta(const Hypergraph& current, const TraceEvent& event,
+                    EdgeDelta* out);
+
+struct TraceGenOptions {
+  int events = 1000;   // total event lines to emit (mutations + decides)
+  uint64_t seed = 1;
+  int k = 2;           // default decide width
+  int small_pct = 80;  // percent of mutation rounds that are single-edge
+};
+
+/// Generates a mutate+decide workload over `base`: `small_pct`% of rounds
+/// remove one random edge, decide, re-insert it, decide (the small-delta
+/// repeat traffic the incremental path amortizes — and, on the re-insert,
+/// an exact return to the previous isomorphism class for the cache);
+/// the rest are churn rounds batching ~1/8 of the edges out and back in.
+/// Every 8th small round inserts a fresh chord edge instead, so inserts of
+/// new names are exercised too. Deterministic in (base, options).
+WorkloadTrace GenerateTrace(const Hypergraph& base,
+                            const TraceGenOptions& options);
+
+}  // namespace ghd
+
+#endif  // GHD_GEN_WORKLOAD_TRACE_H_

@@ -98,4 +98,50 @@ bool Hypergraph::IsConnected() const {
   return primal.ComponentsWithin(covered).size() == 1;
 }
 
+EdgeDeltaResult ApplyEdgeDelta(const Hypergraph& base, const EdgeDelta& delta) {
+  const int n = base.num_vertices();
+  const int m = base.num_edges();
+  std::vector<char> removed(m, 0);
+  VertexSet dirty(n);
+  for (int e : delta.removed_edges) {
+    GHD_CHECK(e >= 0 && e < m);
+    GHD_CHECK(!removed[e]);  // distinct removal ids
+    removed[e] = 1;
+    dirty |= base.edge(e);
+  }
+  for (const EdgeDelta::InsertedEdge& ins : delta.inserts) {
+    GHD_CHECK(ins.vertices.universe_size() == n);
+    dirty |= ins.vertices;
+  }
+  std::vector<std::string> edge_names;
+  std::vector<VertexSet> edges;
+  const int next_m =
+      m - static_cast<int>(delta.removed_edges.size()) +
+      static_cast<int>(delta.inserts.size());
+  edge_names.reserve(next_m);
+  edges.reserve(next_m);
+  std::vector<int> edge_map(m, -1);
+  for (int e = 0; e < m; ++e) {
+    if (removed[e]) continue;
+    edge_map[e] = static_cast<int>(edges.size());
+    edge_names.push_back(base.edge_name(e));
+    edges.push_back(base.edge(e));
+  }
+  std::vector<int> inserted_edges;
+  inserted_edges.reserve(delta.inserts.size());
+  for (const EdgeDelta::InsertedEdge& ins : delta.inserts) {
+    inserted_edges.push_back(static_cast<int>(edges.size()));
+    edge_names.push_back(ins.name);
+    edges.push_back(ins.vertices);
+  }
+  std::vector<std::string> vertex_names;
+  vertex_names.reserve(n);
+  for (int v = 0; v < n; ++v) vertex_names.push_back(base.vertex_name(v));
+  EdgeDeltaResult result{
+      Hypergraph(std::move(vertex_names), std::move(edge_names),
+                 std::move(edges)),
+      std::move(edge_map), std::move(inserted_edges), std::move(dirty)};
+  return result;
+}
+
 }  // namespace ghd

@@ -91,6 +91,39 @@ class Hypergraph {
   std::shared_ptr<const FlatHypergraph> flat_;
 };
 
+/// One batched mutation of a hypergraph's edge set. The vertex universe is
+/// fixed across deltas (dynamic workloads add and drop constraints over a
+/// stable attribute space); inserts reference existing vertex ids only.
+/// Versions stay immutable — applying a delta builds the *next* Hypergraph
+/// value rather than mutating the base.
+struct EdgeDelta {
+  struct InsertedEdge {
+    std::string name;
+    VertexSet vertices;  // universe = base.num_vertices()
+  };
+  std::vector<InsertedEdge> inserts;
+  /// Edge ids of the base version to drop; must be valid and distinct.
+  std::vector<int> removed_edges;
+};
+
+/// The next version plus the bookkeeping incremental consumers need:
+/// `edge_map` translates base edge ids into next-version ids (-1 when the
+/// edge was removed; survivors are compacted in base order, inserts appended
+/// after them), `inserted_edges` lists the new ids of `delta.inserts` in
+/// order, and `dirty_vertices` is the union of the vertex sets of every
+/// removed and inserted edge — the region whose derived state (memo entries,
+/// separator caches, cover candidates) a consumer must revisit.
+struct EdgeDeltaResult {
+  Hypergraph next;
+  std::vector<int> edge_map;
+  std::vector<int> inserted_edges;
+  VertexSet dirty_vertices;
+};
+
+/// Applies `delta` to `base`. Checked preconditions: removed ids in range
+/// and distinct, inserted vertex sets over base's vertex universe.
+EdgeDeltaResult ApplyEdgeDelta(const Hypergraph& base, const EdgeDelta& delta);
+
 }  // namespace ghd
 
 #endif  // GHD_HYPERGRAPH_HYPERGRAPH_H_

@@ -61,6 +61,18 @@ const char* const kCounterNames[kNumCounters] = {
     "cache_misses",
     "cache_inserts",
     "cache_evictions",
+    "cache_load_rejected",
+    "incr_deltas_applied",
+    "incr_incremental_solves",
+    "incr_full_solves",
+    "incr_cache_served",
+    "incr_fingerprint_served",
+    "incr_memo_retained",
+    "incr_memo_invalidated",
+    "incr_neg_retained",
+    "incr_neg_invalidated",
+    "incr_sep_retained",
+    "incr_sep_invalidated",
 };
 
 const char* const kGaugeNames[kNumGauges] = {

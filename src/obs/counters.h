@@ -96,6 +96,20 @@ enum class Counter : int {
   kCacheMisses,         // lookups that fell through to a solve
   kCacheInserts,        // entries inserted or widened
   kCacheEvictions,      // entries evicted by the LRU byte budget
+  kCacheLoadRejected,   // persisted cache files ignored whole (bad magic,
+                        // version mismatch, or truncation)
+  // Incremental re-decomposition over edge deltas (core/incremental).
+  kIncrDeltasApplied,      // EdgeDeltas applied to a versioned solver
+  kIncrIncrementalSolves,  // decides served by the rebound warm ladder
+  kIncrFullSolves,         // decides that ran a from-scratch bootstrap
+  kIncrCacheServed,        // decides served by the decomposition cache
+  kIncrFingerprintServed,  // decides served by the version verdict memo
+  kIncrMemoRetained,       // positive memo entries surviving a rebind
+  kIncrMemoInvalidated,    // positive memo entries dropped by a rebind
+  kIncrNegRetained,        // negative memo entries surviving a rebind
+  kIncrNegInvalidated,     // negative memo entries dropped by a rebind
+  kIncrSepRetained,        // negative-separator entries surviving a rebind
+  kIncrSepInvalidated,     // negative-separator entries dropped by a rebind
   kCounterCount,        // sentinel
 };
 

@@ -102,6 +102,7 @@ void Heartbeat::EmitLocked(bool final_line) {
       BoardSlot::kMemoStates,   BoardSlot::kInternerSets,
       BoardSlot::kGuardFamily,  BoardSlot::kDpLayer,
       BoardSlot::kCacheHits,    BoardSlot::kCacheMisses,
+      BoardSlot::kIncrVersion,  BoardSlot::kIncrRetained,
   };
   for (BoardSlot slot : kNumericSlots) {
     line += ",\"";

@@ -15,6 +15,8 @@ const char* const kSlotNames[kNumBoardSlots] = {
     "dp_layer",
     "cache_hits",
     "cache_misses",
+    "incr_version",
+    "incr_retained",
 };
 
 }  // namespace

@@ -35,6 +35,8 @@ enum class BoardSlot : int {
   kDpLayer,         // subset-DP popcount layer being solved
   kCacheHits,       // decomposition-cache lookups served from memory
   kCacheMisses,     // decomposition-cache lookups that fell through to solves
+  kIncrVersion,     // incremental solver: hypergraph version (deltas applied)
+  kIncrRetained,    // incremental solver: memo entries kept by the last rebind
   kSlotCount,       // sentinel
 };
 

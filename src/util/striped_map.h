@@ -62,6 +62,18 @@ class StripedMap {
     return &it->second;
   }
 
+  /// Visits every (key, value) pair, holding one stripe lock at a time.
+  /// Visit order is unspecified. `fn` must not touch this map (deadlock);
+  /// concurrent inserters may or may not be visited. Used by the rebind
+  /// sweep of the incremental solver, which runs it single-threaded.
+  template <typename Fn>
+  void ForEach(Fn fn) const {
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      for (const auto& [key, value] : shard->map) fn(key, value);
+    }
+  }
+
   /// Total element count (takes every stripe lock; for stats/tests).
   size_t Size() const {
     size_t total = 0;

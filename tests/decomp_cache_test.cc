@@ -12,6 +12,7 @@
 #include "gen/generators.h"
 #include "gtest/gtest.h"
 #include "hypergraph/canonical.h"
+#include "obs/obs.h"
 #include "util/resource_governor.h"
 #include "util/rng.h"
 
@@ -175,6 +176,99 @@ TEST(DecompCacheTest, LoadRejectsGarbage) {
   EXPECT_FALSE(cache.Load(path).ok());
   EXPECT_EQ(cache.size(), 0u);
   EXPECT_FALSE(cache.Load(path + ".missing").ok());
+  std::remove(path.c_str());
+}
+
+// Writes a valid 3-entry cache file and returns its path plus its keys.
+std::string SaveSmallCache(const std::string& name,
+                           std::vector<InstanceKey>* keys) {
+  const std::string path = testing::TempDir() + "/" + name;
+  DecompCache cache;
+  for (uint64_t i = 0; i < 3; ++i) {
+    CacheEntry e;
+    e.hw_lb = 2;
+    e.hw_ub = 3;
+    e.hw_witness = OneNodeWitness(4, 3);
+    cache.Merge(KeyOf(100 + i, 7 * i), e);
+    keys->push_back(KeyOf(100 + i, 7 * i));
+  }
+  EXPECT_TRUE(cache.Save(path).ok());
+  return path;
+}
+
+// A truncated file (torn copy, full disk) must be rejected whole: nothing
+// from it may merge, and state the cache already held must survive intact.
+TEST(DecompCacheTest, TruncatedFileRejectedWithoutPartialLoad) {
+  std::vector<InstanceKey> keys;
+  const std::string path = SaveSmallCache("ghd_cache_trunc.bin", &keys);
+  // Chop the file mid-entry: keep the header plus one and a half entries.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char buf[4096];
+  const size_t total = std::fread(buf, 1, sizeof buf, f);
+  std::fclose(f);
+  ASSERT_GT(total, 60u);
+  f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(buf, 1, total - total / 3, f), total - total / 3);
+  std::fclose(f);
+
+#if GHD_OBS_ENABLED
+  obs::EnableCounters(true);
+  obs::ResetCounters();
+#endif
+  DecompCache cache;
+  CacheEntry prior;
+  prior.hw_ub = 1;
+  prior.hw_witness = OneNodeWitness(2, 1);
+  cache.Merge(KeyOf(5, 5), prior);
+  EXPECT_FALSE(cache.Load(path).ok());
+  // No partial merge: the pre-existing entry alone, none of the file's keys.
+  EXPECT_EQ(cache.size(), 1u);
+  CacheEntry got;
+  EXPECT_TRUE(cache.Lookup(KeyOf(5, 5), &got));
+  for (const InstanceKey& k : keys) {
+    EXPECT_FALSE(cache.Lookup(k, &got));
+  }
+#if GHD_OBS_ENABLED
+  const obs::CounterSnapshot s = obs::SnapshotCounters();
+  EXPECT_GT(s.counter(obs::Counter::kCacheLoadRejected), 0);
+  obs::ResetCounters();
+  obs::EnableCounters(false);
+#endif
+  std::remove(path.c_str());
+}
+
+// A file written by a different wire version (canonicalization constants may
+// have changed underneath the keys) must be ignored, not reinterpreted.
+TEST(DecompCacheTest, VersionMismatchRejected) {
+  std::vector<InstanceKey> keys;
+  const std::string path = SaveSmallCache("ghd_cache_ver.bin", &keys);
+  // The version field is the uint32 right after the 4-byte magic.
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, 4, SEEK_SET), 0);
+  const uint32_t bogus = 0x7fffffff;
+  ASSERT_EQ(std::fwrite(&bogus, sizeof bogus, 1, f), 1u);
+  std::fclose(f);
+
+#if GHD_OBS_ENABLED
+  obs::EnableCounters(true);
+  obs::ResetCounters();
+#endif
+  DecompCache cache;
+  EXPECT_FALSE(cache.Load(path).ok());
+  EXPECT_EQ(cache.size(), 0u);
+  CacheEntry got;
+  for (const InstanceKey& k : keys) {
+    EXPECT_FALSE(cache.Lookup(k, &got));
+  }
+#if GHD_OBS_ENABLED
+  const obs::CounterSnapshot s = obs::SnapshotCounters();
+  EXPECT_GT(s.counter(obs::Counter::kCacheLoadRejected), 0);
+  obs::ResetCounters();
+  obs::EnableCounters(false);
+#endif
   std::remove(path.c_str());
 }
 

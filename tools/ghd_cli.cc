@@ -21,6 +21,15 @@
 //                                        decomposition cache (default k=2)
 //   ghd_cli anytime-many <manifest>      batched anytime ghw intervals with
 //                                        the same canonicalize/dedup front end
+//   ghd_cli replay    <file.trace> [k]   stream a mutate+decide workload trace
+//                                        (ghd_gen trace) through the
+//                                        incremental solver: small deltas
+//                                        sweep the warm decider memo instead
+//                                        of re-solving, repeats of a seen
+//                                        isomorphism class come from the
+//                                        decomposition cache. Prints verdicts
+//                                        on stdout, per-event p50/p99 latency
+//                                        and retention counters on stderr
 //
 // Batch flags (decide-many / anytime-many):
 //   --cache-file=F   load the decomposition cache from F before solving (when
@@ -73,6 +82,8 @@
 // SIGINT (bounds printed are valid but not tight), 1 = I/O error, 2 = usage.
 //
 // Files use the HyperBench / detkdecomp .hg format.
+#include <algorithm>
+#include <chrono>
 #include <csignal>
 #include <cstdlib>
 #include <fstream>
@@ -82,6 +93,8 @@
 
 #include "cache/cached_solver.h"
 #include "core/anytime.h"
+#include "core/incremental.h"
+#include "gen/workload_trace.h"
 #include "core/bip.h"
 #include "core/ghw_exact.h"
 #include "core/ghw_lower.h"
@@ -136,7 +149,9 @@ int Usage() {
          "[--metrics-interval-ms N]\n"
          "       ghd_cli <decide-many|anytime-many> <manifest> [k]\n"
          "               [--cache-file=FILE] [--cache-mb N] [--no-cache] "
-         "[--out=FILE]\n";
+         "[--out=FILE]\n"
+         "       ghd_cli replay <file.trace> [k]\n"
+         "               [--cache-file=FILE] [--cache-mb N] [--no-cache]\n";
   return kExitUsage;
 }
 
@@ -334,6 +349,131 @@ int RunBatchCommand(const BatchParams& bp) {
   return undecided == 0 ? kExitDecided : kExitTruncated;
 }
 
+// ---------------------------------------------------------------------------
+// replay: stream a workload trace through the incremental solver.
+
+struct ReplayParams {
+  std::string trace_path;
+  std::string cache_file;
+  bool use_cache = true;
+  long cache_mb = 64;
+  int k_override = 0;  // 0 = the trace's default k
+  int num_threads = 1;
+  ghd::Budget* governor = nullptr;
+};
+
+// Nearest-rank percentile over a sorted copy (same convention as the bench
+// suite's Percentile helper; duplicated here so tools/ does not link bench/).
+double PercentileMs(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const size_t rank = static_cast<size_t>(q * (samples.size() - 1) + 0.5);
+  return samples[rank < samples.size() ? rank : samples.size() - 1];
+}
+
+int RunReplayCommand(const ReplayParams& rp) {
+  using namespace ghd;
+  Result<WorkloadTrace> loaded = LoadTrace(rp.trace_path);
+  if (!loaded.ok()) {
+    std::cerr << "error: " << loaded.status().ToString() << "\n";
+    return kExitError;
+  }
+  const WorkloadTrace& trace = loaded.value();
+  const int default_k = rp.k_override > 0 ? rp.k_override : trace.default_k;
+
+  std::optional<DecompCache> cache;
+  if (rp.use_cache) {
+    DecompCache::Options copts;
+    copts.max_bytes = static_cast<size_t>(rp.cache_mb) << 20;
+    copts.governor = rp.governor;
+    cache.emplace(copts);
+    if (!rp.cache_file.empty()) {
+      const Status cache_loaded = cache->Load(rp.cache_file);
+      if (!cache_loaded.ok() &&
+          cache_loaded.code() != StatusCode::kNotFound) {
+        std::cerr << "warning: ignoring cache file: "
+                  << cache_loaded.ToString() << "\n";
+      }
+    }
+  }
+
+  IncrementalOptions opts;
+  opts.num_threads = rp.num_threads;
+  opts.budget = rp.governor;
+  opts.cache = cache.has_value() ? &*cache : nullptr;
+  IncrementalSolver solver(trace.base, opts);
+
+  std::vector<double> event_ms, decide_ms;
+  event_ms.reserve(trace.events.size());
+  long decides = 0, yes = 0, no = 0, undecided = 0;
+  for (size_t i = 0; i < trace.events.size(); ++i) {
+    const TraceEvent& ev = trace.events[i];
+    const auto start = std::chrono::steady_clock::now();
+    if (ev.kind == TraceEvent::Kind::kDelta) {
+      EdgeDelta delta;
+      const Status s = ResolveDelta(solver.current(), ev, &delta);
+      if (!s.ok()) {
+        std::cerr << "error: event " << i << ": " << s.ToString() << "\n";
+        return kExitError;
+      }
+      solver.Apply(delta);
+    } else {
+      const int k = ev.k > 0 ? ev.k : default_k;
+      const IncrementalDecideResult r = solver.DecideHw(k);
+      ++decides;
+      if (!r.decided) {
+        ++undecided;
+      } else if (r.exists) {
+        ++yes;
+      } else {
+        ++no;
+      }
+      std::cout << "v" << solver.version() << " hw<=" << k << ": "
+                << (r.decided ? (r.exists ? "yes" : "no") : "undecided")
+                << "\n";
+    }
+    const auto end = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(end - start).count();
+    event_ms.push_back(ms);
+    if (ev.kind == TraceEvent::Kind::kDecide) decide_ms.push_back(ms);
+  }
+
+  std::cout << "replay: events=" << trace.events.size()
+            << " decides=" << decides << " yes=" << yes << " no=" << no
+            << " undecided=" << undecided << "\n";
+
+  const IncrementalStats& st = solver.stats();
+  const long memo_total = st.memo_retained + st.memo_invalidated;
+  std::cerr << "replay: deltas=" << st.deltas_applied
+            << " incremental_solves=" << st.incremental_solves
+            << " full_solves=" << st.full_solves
+            << " cache_served=" << st.cache_served
+            << " fingerprint_served=" << st.fingerprint_served
+            << " ladder_drops=" << st.ladder_drops << "\n";
+  std::cerr << "replay: incr_memo_retained=" << st.memo_retained
+            << " incr_memo_invalidated=" << st.memo_invalidated
+            << " incr_neg_retained=" << st.neg_retained
+            << " incr_sep_retained=" << st.sep_retained
+            << " memo_retention="
+            << (memo_total > 0
+                    ? static_cast<double>(st.memo_retained) / memo_total
+                    : 0.0)
+            << "\n";
+  std::cerr << "replay: event_ms_p50=" << PercentileMs(event_ms, 0.50)
+            << " event_ms_p99=" << PercentileMs(event_ms, 0.99)
+            << " decide_ms_p50=" << PercentileMs(decide_ms, 0.50)
+            << " decide_ms_p99=" << PercentileMs(decide_ms, 0.99) << "\n";
+
+  if (cache.has_value() && !rp.cache_file.empty()) {
+    const Status saved = cache->Save(rp.cache_file);
+    if (!saved.ok()) {
+      std::cerr << "warning: cache not saved: " << saved.ToString() << "\n";
+    }
+  }
+  return undecided == 0 ? kExitDecided : kExitTruncated;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -457,10 +597,10 @@ int main(int argc, char** argv) {
               << "\n";
   }
 
-  // The batch commands take a manifest of .hg paths instead of one instance;
-  // they load their inputs themselves inside the dispatch.
-  const bool batch_command =
-      command == "decide-many" || command == "anytime-many";
+  // The batch commands take a manifest (or trace) instead of one .hg
+  // instance; they load their inputs themselves inside the dispatch.
+  const bool batch_command = command == "decide-many" ||
+                             command == "anytime-many" || command == "replay";
   Hypergraph h{{}, {}, {}};
   if (!batch_command) {
     Result<Hypergraph> parsed = LoadHg(args[1]);
@@ -663,6 +803,19 @@ int main(int argc, char** argv) {
                   << StatsToString(ComputeStats(parts[p])) << "\n";
       }
       return kExitDecided;
+    }
+    if (command == "replay") {
+      if (deadline_seconds > 0) governor.SetDeadlineSeconds(deadline_seconds);
+      ReplayParams rp;
+      rp.trace_path = args[1];
+      rp.cache_file = cache_file;
+      rp.use_cache = !no_cache;
+      rp.cache_mb = cache_mb;
+      rp.k_override = args.size() > 2 ? std::atoi(args[2].c_str()) : 0;
+      if (args.size() > 2 && rp.k_override < 1) return Usage();
+      rp.num_threads = num_threads;
+      rp.governor = &governor;
+      return RunReplayCommand(rp);
     }
     if (batch_command) {
       if (deadline_seconds > 0) governor.SetDeadlineSeconds(deadline_seconds);

@@ -6,14 +6,20 @@
 //   ghd_gen tristrip <k>
 //   ghd_gen grid     <rows> <cols>
 //   ghd_gen clique   <n>
+//   ghd_gen trace    (<family> <params...> | <file.hg>)
+//                    [--events N] [--seed S] [--k K] [--small-pct P]
 //
+// `trace` emits a mutate+decide workload trace (gen/workload_trace.h) over
+// the named base instance — the input of `ghd_cli replay` and bench/replay.
 // The emitted file round-trips through hg_io byte-identically, which is what
 // keeps the committed large-universe instances reviewable diffs.
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "gen/generators.h"
+#include "gen/workload_trace.h"
 #include "hypergraph/hg_io.h"
 
 namespace {
@@ -23,8 +29,86 @@ int Usage() {
                "<params...>\n"
                "  window <num_vertices> <arity> <step>\n"
                "  cycle <n>\n  tristrip <k>\n  grid <rows> <cols>\n"
-               "  clique <n>\n";
+               "  clique <n>\n"
+               "  trace (<family> <params...> | <file.hg>) [--events N] "
+               "[--seed S] [--k K] [--small-pct P]\n";
   return 2;
+}
+
+// Builds a family instance from positional args; returns false on bad usage.
+bool BuildFamily(const std::string& family, const std::vector<int>& params,
+                 ghd::Hypergraph* out) {
+  using namespace ghd;
+  const int a = params.size() > 0 ? params[0] : 0;
+  const int b = params.size() > 1 ? params[1] : 0;
+  const int c = params.size() > 2 ? params[2] : 0;
+  if (a <= 0) return false;
+  if (family == "window") {
+    if (b <= 0 || c <= 0) return false;
+    *out = WindowPathHypergraph(a, b, c);
+  } else if (family == "cycle") {
+    *out = CycleHypergraph(a);
+  } else if (family == "tristrip") {
+    *out = TriangleStripHypergraph(a);
+  } else if (family == "grid") {
+    if (b <= 0) return false;
+    *out = Grid2dHypergraph(a, b);
+  } else if (family == "clique") {
+    *out = CliqueHypergraph(a);
+  } else {
+    return false;
+  }
+  return true;
+}
+
+int TraceMain(int argc, char** argv) {
+  using namespace ghd;
+  // Split argv[2..] into positionals (base spec) and --flags.
+  std::vector<std::string> positional;
+  TraceGenOptions options;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional.push_back(arg);
+      continue;
+    }
+    if (i + 1 >= argc) return Usage();
+    const long value = std::atol(argv[++i]);
+    if (arg == "--events" && value > 0) {
+      options.events = static_cast<int>(value);
+    } else if (arg == "--seed" && value >= 0) {
+      options.seed = static_cast<uint64_t>(value);
+    } else if (arg == "--k" && value > 0) {
+      options.k = static_cast<int>(value);
+    } else if (arg == "--small-pct" && value >= 0 && value <= 100) {
+      options.small_pct = static_cast<int>(value);
+    } else {
+      return Usage();
+    }
+  }
+  if (positional.empty()) return Usage();
+
+  Hypergraph base({}, {}, {});
+  if (positional.size() == 1 && positional[0].rfind(".hg") != std::string::npos) {
+    Result<Hypergraph> loaded = LoadHg(positional[0]);
+    if (!loaded.ok()) {
+      std::cerr << "ghd_gen: " << loaded.status().message() << "\n";
+      return 1;
+    }
+    base = std::move(loaded.value());
+  } else {
+    std::vector<int> params;
+    for (size_t i = 1; i < positional.size(); ++i) {
+      params.push_back(std::atoi(positional[i].c_str()));
+    }
+    if (!BuildFamily(positional[0], params, &base)) return Usage();
+  }
+  if (base.num_edges() == 0) {
+    std::cerr << "ghd_gen: trace base has no edges\n";
+    return 1;
+  }
+  std::cout << WriteTrace(GenerateTrace(base, options));
+  return 0;
 }
 
 }  // namespace
@@ -33,6 +117,7 @@ int main(int argc, char** argv) {
   using namespace ghd;
   if (argc < 3) return Usage();
   const std::string family = argv[1];
+  if (family == "trace") return TraceMain(argc, argv);
   const int a = std::atoi(argv[2]);
   const int b = argc > 3 ? std::atoi(argv[3]) : 0;
   const int c = argc > 4 ? std::atoi(argv[4]) : 0;

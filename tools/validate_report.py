@@ -10,7 +10,10 @@ Usage:
 Report mode checks each file against the checked-in simplified schema
 (tools/report_schema.json) and additionally asserts the memo-soundness
 invariant: if the counters section reports decider activity, the
-decider_memo_poisoned counter must be present and zero. Reports carrying an
+decider_memo_poisoned counter must be present and zero. --require-counter
+NAME[:MIN] (repeatable) asserts that a named counter is present with at
+least MIN (default 1) — CI uses it to pin incremental-serving activity in
+replay reports. Reports carrying an
 `attribution` section get the tree checked recursively: every node well
 formed, children's wall-time sums bounded by their parent (within tolerance),
 and the top-level nodes accounting for at least --min-attribution-coverage
@@ -98,6 +101,19 @@ def check_report_invariants(report, errors):
                 f"counters: decider_memo_poisoned = {poisoned}, must be 0")
 
 
+def check_required_counters(report, requirements, errors):
+    """--require-counter NAME[:MIN] assertions against the counters section."""
+    counters = report.get("counters")
+    for spec in requirements:
+        name, _, minimum = spec.partition(":")
+        need = int(minimum) if minimum else 1
+        value = counters.get(name) if isinstance(counters, dict) else None
+        if not isinstance(value, int) or isinstance(value, bool):
+            errors.append(f"counters: required counter {name!r} missing")
+        elif value < need:
+            errors.append(f"counters: {name} = {value} < required {need}")
+
+
 ATTRIBUTION_SUM_TOLERANCE = 0.05  # 50ms of scope-entry/exit slack per node
 
 
@@ -150,7 +166,8 @@ def check_report_attribution(report, min_coverage, errors):
 
 HEARTBEAT_INT_KEYS = (
     "seq", "lb", "ub", "k", "frontier_depth", "memo_states", "interner_sets",
-    "guard_family", "dp_layer", "ticks", "resident_kb", "bytes_charged",
+    "guard_family", "dp_layer", "incr_version", "incr_retained", "ticks",
+    "resident_kb", "bytes_charged",
 )
 HEARTBEAT_NUMBER_KEYS = (
     "at_seconds", "ticks_per_sec", "memo_inserts_per_sec",
@@ -253,6 +270,10 @@ def main():
     parser.add_argument("--min-attribution-coverage", type=float, default=0.9,
                         help="report mode: fraction of outcome wall_seconds "
                              "the top-level attribution nodes must cover")
+    parser.add_argument("--require-counter", action="append", default=[],
+                        metavar="NAME[:MIN]",
+                        help="report mode: the counters section must carry "
+                             "NAME with value >= MIN (default 1); repeatable")
     parser.add_argument("files", nargs="+")
     args = parser.parse_args()
 
@@ -292,6 +313,7 @@ def main():
             else:
                 check(data, schema, "$", errors)
                 check_report_invariants(data, errors)
+                check_required_counters(data, args.require_counter, errors)
                 check_report_attribution(
                     data, args.min_attribution_coverage, errors)
         if errors:
